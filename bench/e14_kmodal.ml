@@ -1,0 +1,63 @@
+(* E14 — the remark after Theorem 1.2: the lower bound transfers to
+   k-modal testing.
+
+   (a) The support-size instances have modality linear in their cover:
+       exactly the structure that defeats k-modal testers too.
+   (b) The plug-in k-modal tester (exact DP distance on the empirical
+       distribution) is correct on in-class and far instances — at a
+       Theta(n/eps^2) budget, with no sublinear shortcut: the remark says
+       Omega(k/log k) is unavoidable, and (a) shows the same hard family
+       applies. *)
+
+let run (mode : Exp_common.mode) =
+  Exp_common.section ~id:"E14 (remark after Thm 1.2: k-modal transfer)"
+    ~claim:
+      "The support-size instances are exactly as hard for k-modality: the \
+       large side's modality tracks its cover.";
+  let rng = Randkit.Rng.create ~seed:mode.Exp_common.seed in
+  (* (a) modality of the lower-bound instances. *)
+  Exp_common.row "%6s | %6s | %10s | %10s | %12s@." "k" "m" "side" "cover"
+    "modality";
+  Exp_common.hline ();
+  List.iter
+    (fun k ->
+      let n = 2048 in
+      let m = Histotest.Lowerbound.supp_size_m ~k in
+      let (small, _), (large, _), _ =
+        Histotest.Lowerbound.supp_size_pair ~k ~n ~rng
+      in
+      List.iter
+        (fun (side, pmf) ->
+          Exp_common.row "%6d | %6d | %10s | %10d | %12d@." k m side
+            (Histotest.Lowerbound.cover_of_support pmf)
+            (Modal.direction_changes pmf))
+        [ ("small", small); ("large", large) ])
+    [ 33; 129 ];
+  (* (b) the plug-in tester at small n. *)
+  let n = 96 in
+  let eps = 0.3 in
+  let trials = if mode.Exp_common.quick then 10 else 40 in
+  Exp_common.row "@.Plug-in k-modal tester (n = %d, eps = %.2f):@." n eps;
+  Exp_common.row "%12s | %4s | %12s | %9s@." "instance" "k" "tv(D,modal)"
+    "err rate";
+  Exp_common.hline ();
+  List.iter
+    (fun (name, k, pmf, in_class) ->
+      let dist = Modal.tv_to_kmodal pmf ~k in
+      let rate =
+        Exp_common.accept_rate ~mode ~trials ~pmf (fun oracle ->
+            (Histotest.Modal_test.run oracle ~k ~eps).Histotest.Modal_test
+              .verdict)
+      in
+      let err = if in_class then 1. -. rate else rate in
+      Exp_common.row "%12s | %4d | %12.4f | %9.2f@." name k dist err)
+    [
+      ("unimodal", 1, Modal.random_kmodal ~n ~k:1 ~rng, true);
+      ("3-modal", 3, Modal.random_kmodal ~n ~k:3 ~rng, true);
+      ("comb-as-1", 1, Families.comb ~n ~teeth:24, false);
+      ("comb-as-5", 5, Families.comb ~n ~teeth:24, false);
+    ];
+  Exp_common.row
+    "@.Expected shape: modality of the large side ~2x its cover (each@.";
+  Exp_common.row
+    "isolated chunk is a mode); plug-in tester errs <= 1/3 on all rows.@."

@@ -1,0 +1,51 @@
+(* Shared plumbing for the experiment suite.
+
+   Every experiment prints a self-contained table: the claim it reproduces,
+   the workload, and the measured rows.  EXPERIMENTS.md records one
+   reference run of each. *)
+
+type mode = { quick : bool; seed : int }
+
+let default_mode = { quick = true; seed = 1 }
+
+let section ~id ~claim =
+  Format.printf "@.=== %s ===@." id;
+  Format.printf "%s@.@." claim
+
+let row fmt = Format.printf fmt
+
+let hline () =
+  Format.printf "%s@." (String.make 72 '-')
+
+let accept_rate ~mode ~trials ~pmf run =
+  let rng = Randkit.Rng.create ~seed:mode.seed in
+  let accepts = ref 0 in
+  for _ = 1 to trials do
+    let oracle = Poissonize.of_pmf (Randkit.Rng.split rng) pmf in
+    if run oracle = Verdict.Accept then incr accepts
+  done;
+  float_of_int !accepts /. float_of_int trials
+
+(* Error on a completeness/soundness pair: (rejection rate on yes,
+   acceptance rate on no). *)
+let error_pair ~mode ~trials ~yes ~no run =
+  let a_yes = accept_rate ~mode ~trials ~pmf:yes run in
+  let a_no = accept_rate ~mode ~trials ~pmf:no run in
+  (1. -. a_yes, a_no)
+
+let scaled_config factor =
+  Histotest.Config.scale_budget Histotest.Config.default factor
+
+let time_of f =
+  let t0 = Sys.time () in
+  let x = f () in
+  (x, Sys.time () -. t0)
+
+(* Canonical instance pairs used across experiments: a k-staircase with
+   well-separated levels (in H_k) against a 4k-piece comb (far from H_k at
+   the experiment's eps). *)
+let yes_instance ~n ~k ~seed =
+  Families.staircase ~n ~k ~rng:(Randkit.Rng.create ~seed)
+
+let no_instance ~n ~k =
+  Families.comb ~n ~teeth:(2 * k)

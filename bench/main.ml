@@ -1,0 +1,63 @@
+(* Experiment harness: regenerates every experiment in EXPERIMENTS.md.
+
+   Usage:
+     dune exec bench/main.exe                 # all experiments, quick mode
+     dune exec bench/main.exe -- e1 e4        # a subset
+     dune exec bench/main.exe -- --full       # full-size sweeps
+     dune exec bench/main.exe -- --seed 7 e10 # different seed *)
+
+let experiments =
+  [
+    ("e1", E01_scaling_n.run);
+    ("e2", E02_scaling_k.run);
+    ("e3", E03_comparison.run);
+    ("e4", E04_paninski.run);
+    ("e5", E05_supp_size.run);
+    ("e6", E06_runtime.run);
+    ("e7", E07_approx_part.run);
+    ("e8", E08_learner.run);
+    ("e9", E09_adk15.run);
+    ("e10", E10_sieve_ablation.run);
+    ("e11", E11_model_select.run);
+    ("e12", E12_selectivity.run);
+    ("e13", E13_closest_dp.run);
+    ("e14", E14_kmodal.run);
+    ("e15", E15_closeness.run);
+    ("e16", E16_structured.run);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let seed =
+    let rec find = function
+      | "--seed" :: v :: _ -> int_of_string v
+      | _ :: rest -> find rest
+      | [] -> 1
+    in
+    find args
+  in
+  let selected =
+    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-'))
+      (List.filter (fun a -> a <> string_of_int seed) args)
+  in
+  let mode = { Exp_common.quick = not full; seed } in
+  let to_run =
+    match selected with
+    | [] -> experiments
+    | names ->
+        List.filter_map
+          (fun name ->
+            match List.assoc_opt (String.lowercase_ascii name) experiments with
+            | Some f -> Some (name, f)
+            | None ->
+                Format.eprintf "unknown experiment %S (known: e1..e16)@." name;
+                None)
+          names
+  in
+  Format.printf "histotest experiment harness (%s mode, seed %d)@."
+    (if full then "full" else "quick")
+    seed;
+  let t0 = Sys.time () in
+  List.iter (fun (_, f) -> f mode) to_run;
+  Format.printf "@.total time: %.1f s@." (Sys.time () -. t0)

@@ -1,0 +1,391 @@
+(* histotest command-line interface.
+
+   Examples:
+     histotest test --family staircase:4 --domain 4096 --pieces 4 --eps 0.25
+     histotest test --family bimodal --tester cdgr16 --trials 5
+     histotest select --family staircase:8 --domain 2048 --eps 0.2
+     histotest dist --family zipf:1.2 --domain 1024 --pieces 8
+     histotest demo-lb --domain 4096 --pieces 33 *)
+
+let parse_family spec ~n ~rng =
+  let fail msg = `Error (false, msg) in
+  match String.split_on_char ':' spec with
+  | [ "uniform" ] -> `Ok (Pmf.uniform n)
+  | [ "staircase"; k ] ->
+      `Ok (Families.staircase ~n ~k:(int_of_string k) ~rng)
+  | [ "khist"; k ] ->
+      `Ok (Families.random_khist ~n ~k:(int_of_string k) ~rng)
+  | [ "zipf"; s ] -> `Ok (Families.zipf ~n ~s:(float_of_string s))
+  | [ "geometric"; r ] ->
+      `Ok (Families.geometric_like ~n ~ratio:(float_of_string r))
+  | [ "comb"; teeth ] -> `Ok (Families.comb ~n ~teeth:(int_of_string teeth))
+  | [ "bimodal" ] -> `Ok (Families.bimodal ~n)
+  | [ "paninski"; eps ] ->
+      `Ok
+        (Histotest.Lowerbound.paninski_instance ~n ~eps:(float_of_string eps)
+           ~rng ())
+  | [ "spiked"; spikes ] ->
+      `Ok
+        (Families.spiked ~n ~spikes:(int_of_string spikes) ~spike_mass:0.5 ~rng)
+  | [ "monotone"; p ] ->
+      `Ok (Families.monotone_decreasing ~n ~power:(float_of_string p))
+  | _ ->
+      fail
+        (Printf.sprintf
+           "unknown family %S (try uniform, staircase:K, khist:K, zipf:S, \
+            geometric:R, comb:T, bimodal, paninski:EPS, spiked:S, monotone:P)"
+           spec)
+
+open Cmdliner
+
+let n_arg =
+  Arg.(value & opt int 4096 & info [ "n"; "domain" ] ~docv:"N" ~doc:"Domain size.")
+
+let k_arg =
+  Arg.(value & opt int 4 & info [ "k"; "pieces" ] ~docv:"K" ~doc:"Histogram pieces.")
+
+let eps_arg =
+  Arg.(
+    value
+    & opt float 0.25
+    & info [ "eps" ] ~docv:"EPS" ~doc:"Distance parameter.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let family_arg =
+  Arg.(
+    value
+    & opt string "staircase:4"
+    & info [ "family" ] ~docv:"FAMILY"
+        ~doc:
+          "Distribution under test: uniform, staircase:K, khist:K, zipf:S, \
+           geometric:R, comb:T, bimodal, paninski:EPS, spiked:S, monotone:P.")
+
+let trials_arg =
+  Arg.(
+    value & opt int 1 & info [ "trials" ] ~docv:"T" ~doc:"Independent trials.")
+
+let paper_arg =
+  Arg.(
+    value & flag
+    & info [ "paper" ]
+        ~doc:"Use the paper's literal constants instead of the practical \
+              profile (enormous sample budgets).")
+
+let tester_arg =
+  Arg.(
+    value
+    & opt string "algorithm1"
+    & info [ "tester" ] ~docv:"TESTER"
+        ~doc:"One of algorithm1, ilr12, cdgr16, uniformity.")
+
+let config_of_paper paper =
+  if paper then Histotest.Config.paper else Histotest.Config.default
+
+let with_family spec n seed f =
+  let rng = Randkit.Rng.create ~seed in
+  match parse_family spec ~n ~rng with
+  | `Error (_, msg) ->
+      prerr_endline ("error: " ^ msg);
+      1
+  | `Ok pmf -> f pmf rng
+
+(* --- test command --- *)
+
+let run_test family n k eps seed trials paper tester_name =
+  with_family family n seed (fun pmf rng ->
+      let config = config_of_paper paper in
+      let tester =
+        match tester_name with
+        | "algorithm1" -> Some (Histotest.Tester.algorithm1 ~config ())
+        | "ilr12" -> Some (Histotest.Tester.ilr12 ~config ())
+        | "cdgr16" -> Some (Histotest.Tester.cdgr16 ~config ())
+        | "uniformity" -> Some (Histotest.Tester.uniformity ~config ())
+        | _ -> None
+      in
+      match tester with
+      | None ->
+          prerr_endline ("error: unknown tester " ^ tester_name);
+          1
+      | Some t ->
+          Format.printf "family=%s n=%d k=%d eps=%g tester=%s@." family n k eps
+            t.Histotest.Tester.name;
+          Format.printf "exact tv(D, H_k) = %.4f@."
+            (Closest.tv_to_hk pmf ~k);
+          Format.printf "planned budget   = %d samples@."
+            (t.Histotest.Tester.budget ~n ~k ~eps);
+          let accepts = ref 0 in
+          for trial = 1 to trials do
+            let oracle = Poissonize.of_pmf (Randkit.Rng.split rng) pmf in
+            let v = t.Histotest.Tester.run oracle ~k ~eps in
+            if v = Verdict.Accept then incr accepts;
+            Format.printf "trial %d: %a@." trial Verdict.pp v
+          done;
+          if trials > 1 then
+            Format.printf "accepted %d/%d@." !accepts trials;
+          0)
+
+let test_cmd =
+  let doc = "Run a histogram tester against a synthetic distribution." in
+  Cmd.v
+    (Cmd.info "test" ~doc)
+    Term.(
+      const run_test $ family_arg $ n_arg $ k_arg $ eps_arg $ seed_arg
+      $ trials_arg $ paper_arg $ tester_arg)
+
+(* --- select command --- *)
+
+let run_select family n eps seed k_max paper =
+  with_family family n seed (fun pmf rng ->
+      let config = config_of_paper paper in
+      let result =
+        Histotest.Model_select.run ~config
+          ~make_oracle:(fun () -> Poissonize.of_pmf (Randkit.Rng.split rng) pmf)
+          ~k_max ~eps ()
+      in
+      List.iter
+        (fun (k, v) -> Format.printf "probe k=%-5d %a@." k Verdict.pp v)
+        result.Histotest.Model_select.probes;
+      (match result.Histotest.Model_select.k_hat with
+      | Some k -> Format.printf "selected k = %d@." k
+      | None -> Format.printf "no k up to %d accepted@." k_max);
+      Format.printf "samples used: %d@."
+        result.Histotest.Model_select.samples_used;
+      0)
+
+let k_max_arg =
+  Arg.(
+    value & opt int 256 & info [ "k-max" ] ~docv:"KMAX" ~doc:"Search limit.")
+
+let select_cmd =
+  let doc = "Find the smallest k accepted by the tester (doubling search)." in
+  Cmd.v
+    (Cmd.info "select" ~doc)
+    Term.(
+      const run_select $ family_arg $ n_arg $ eps_arg $ seed_arg $ k_max_arg
+      $ paper_arg)
+
+(* --- dist command --- *)
+
+let run_dist family n k seed =
+  with_family family n seed (fun pmf _rng ->
+      Format.printf "pieces(D)        = %d@." (Khist.pieces_of_pmf pmf);
+      Format.printf "tv(D, H_%d)      = %.6f@." k (Closest.tv_to_hk pmf ~k);
+      Format.printf "modality(D)      = %d@." (Modal.direction_changes pmf);
+      let _, witness = Closest.witness pmf ~k in
+      Format.printf "witness pieces   = %d@." (Khist.pieces witness);
+      0)
+
+let dist_cmd =
+  let doc = "Exact distance from a synthetic distribution to H_k (DP)." in
+  Cmd.v
+    (Cmd.info "dist" ~doc)
+    Term.(const run_dist $ family_arg $ n_arg $ k_arg $ seed_arg)
+
+(* --- demo-lb command --- *)
+
+let run_demo_lb n k seed =
+  let rng = Randkit.Rng.create ~seed in
+  let (small, s_small), (large, s_large), m =
+    Histotest.Lowerbound.supp_size_pair ~k ~n ~rng
+  in
+  Format.printf "support-size reduction at k=%d: m=%d@." k m;
+  Format.printf "small side: support %d, pieces %d, tv to H_k %.4f@." s_small
+    (Khist.pieces_of_pmf small)
+    (Closest.tv_to_hk small ~k);
+  Format.printf "large side: support %d, cover %d, tv to H_k %.4f@." s_large
+    (Histotest.Lowerbound.cover_of_support large)
+    (Closest.tv_to_hk large ~k);
+  0
+
+let demo_lb_cmd =
+  let doc = "Materialize a support-size lower-bound instance pair." in
+  Cmd.v
+    (Cmd.info "demo-lb" ~doc)
+    Term.(const run_demo_lb $ n_arg $ k_arg $ seed_arg)
+
+(* --- closeness command --- *)
+
+let run_closeness fam1 fam2 n eps seed trials =
+  with_family fam1 n seed (fun p1 rng ->
+      match parse_family fam2 ~n ~rng with
+      | `Error (_, msg) ->
+          prerr_endline ("error: " ^ msg);
+          1
+      | `Ok p2 ->
+          Format.printf "tv(%s, %s) = %.4f (ground truth)@." fam1 fam2
+            (Distance.tv p1 p2);
+          let accepts = ref 0 in
+          for trial = 1 to trials do
+            let o1 = Poissonize.of_pmf (Randkit.Rng.split rng) p1 in
+            let o2 = Poissonize.of_pmf (Randkit.Rng.split rng) p2 in
+            let out = Histotest.Closeness.run o1 o2 ~eps in
+            if out.Histotest.Closeness.verdict = Verdict.Accept then
+              incr accepts;
+            Format.printf "trial %d: %a (Z = %.1f vs %.1f, %d samples)@."
+              trial Verdict.pp out.Histotest.Closeness.verdict
+              out.Histotest.Closeness.statistic
+              out.Histotest.Closeness.threshold
+              out.Histotest.Closeness.samples_used
+          done;
+          if trials > 1 then Format.printf "accepted %d/%d@." !accepts trials;
+          0)
+
+let family2_arg =
+  Arg.(
+    value
+    & opt string "uniform"
+    & info [ "family2" ] ~docv:"FAMILY"
+        ~doc:"Second distribution (same syntax as --family).")
+
+let closeness_cmd =
+  let doc = "Two-sample closeness test between two synthetic families." in
+  Cmd.v
+    (Cmd.info "closeness" ~doc)
+    Term.(
+      const run_closeness $ family_arg $ family2_arg $ n_arg $ eps_arg
+      $ seed_arg $ trials_arg)
+
+(* --- estimate command --- *)
+
+let run_estimate family n seed samples =
+  with_family family n seed (fun pmf rng ->
+      let oracle = Poissonize.of_pmf rng pmf in
+      let counts = oracle.Poissonize.exact samples in
+      let f = Fingerprint.of_counts counts in
+      Format.printf "samples            = %d@." (Fingerprint.samples f);
+      Format.printf "distinct seen      = %d (true support %d)@."
+        (Fingerprint.distinct f) (Pmf.support_size pmf);
+      Format.printf "chao1 support est  = %.1f@."
+        (Fingerprint.chao1_support_estimate f);
+      Format.printf "missing mass (GT)  = %.4f@."
+        (Fingerprint.good_turing_missing_mass f);
+      Format.printf "l2 norm^2 estimate = %.6f (true %.6f)@."
+        (Fingerprint.l2_norm_sq_estimate f)
+        (Numkit.Kahan.sum_f n (fun i ->
+             let p = Pmf.get pmf i in
+             p *. p));
+      Format.printf "entropy (MM)       = %.4f nats@."
+        (Fingerprint.entropy_miller_madow counts);
+      0)
+
+let samples_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "samples" ] ~docv:"M" ~doc:"Sample budget.")
+
+let estimate_cmd =
+  let doc =
+    "Symmetric-property estimates (support, missing mass, l2, entropy)      from samples of a synthetic family."
+  in
+  Cmd.v
+    (Cmd.info "estimate" ~doc)
+    Term.(const run_estimate $ family_arg $ n_arg $ seed_arg $ samples_arg)
+
+(* --- test-file command --- *)
+
+let read_dataset path =
+  let ic = open_in path in
+  let values = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" then values := int_of_string line :: !values
+     done
+   with
+  | End_of_file -> close_in ic
+  | e ->
+      close_in ic;
+      raise e);
+  List.rev !values
+
+let run_test_file path domain k eps seed trials =
+  match read_dataset path with
+  | exception Sys_error msg ->
+      prerr_endline ("error: " ^ msg);
+      1
+  | exception Failure _ ->
+      prerr_endline "error: dataset must contain one integer per line";
+      1
+  | [] ->
+      prerr_endline "error: empty dataset";
+      1
+  | values ->
+      let max_v = List.fold_left max 0 values in
+      let n = if domain > 0 then domain else max_v + 1 in
+      if List.exists (fun v -> v < 0 || v >= n) values then begin
+        prerr_endline "error: dataset values outside [0, domain)";
+        1
+      end
+      else begin
+        (* The paper's framing: the dataset IS the population; testers get
+           iid samples from its record distribution. *)
+        let counts = Array.make n 0 in
+        List.iter (fun v -> counts.(v) <- counts.(v) + 1) values;
+        let population = Empirical.of_counts counts in
+        let rng = Randkit.Rng.create ~seed in
+        let records = List.length values in
+        Format.printf "dataset: %d records over [0, %d)@." records n;
+        Format.printf "exact tv(dataset, H_%d) = %.4f@." k
+          (Closest.tv_to_hk population ~k);
+        (* Sampling-based testing treats the dataset as the population; it
+           is the right tool only in the sublinear regime, where the
+           dataset dwarfs the tester's budget.  Below that, the per-record
+           multinomial noise is genuine chi-square distance and the exact
+           DP answer above is what a user should read. *)
+        let plan = Histotest.Hist_tester.plan ~n ~k ~eps () in
+        if plan > records / 2 then begin
+          Format.printf
+            "note: the tester would draw %d samples but the dataset has only %d records;@."
+            plan records;
+          Format.printf
+            "the sublinear sampling model does not apply; use the exact distance above@.";
+          Format.printf
+            "(accept iff it is well below your eps = %g).@." eps
+        end;
+        let accepts = ref 0 in
+        for trial = 1 to trials do
+          let oracle = Poissonize.of_pmf (Randkit.Rng.split rng) population in
+          let report = Histotest.Hist_tester.run oracle ~k ~eps in
+          if report.Histotest.Hist_tester.verdict = Verdict.Accept then
+            incr accepts;
+          Format.printf "trial %d:@.%a@." trial Histotest.Hist_tester.pp_report
+            report
+        done;
+        if trials > 1 then Format.printf "accepted %d/%d@." !accepts trials;
+        0
+      end
+
+let file_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "file" ] ~docv:"PATH" ~doc:"Dataset file, one integer per line.")
+
+let domain_opt_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "n"; "domain" ] ~docv:"N"
+        ~doc:"Domain size (default: max value + 1).")
+
+let test_file_cmd =
+  let doc =
+    "Test whether a dataset's record distribution is a k-histogram      (samples are drawn from the file's empirical distribution, the      paper's dataset model)."
+  in
+  Cmd.v
+    (Cmd.info "test-file" ~doc)
+    Term.(
+      const run_test_file $ file_arg $ domain_opt_arg $ k_arg $ eps_arg
+      $ seed_arg $ trials_arg)
+
+let main_cmd =
+  let doc = "testing histogram distributions (PODS reproduction)" in
+  Cmd.group
+    (Cmd.info "histotest" ~version:"1.0.0" ~doc)
+    [
+      test_cmd; select_cmd; dist_cmd; demo_lb_cmd; closeness_cmd;
+      estimate_cmd; test_file_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,52 @@
+(* Continuous domains by gridding — the paper's Section 2 remark in action.
+
+   Run with:  dune exec examples/continuous_gridding.exe
+
+   A sensor emits real-valued readings.  Under normal operation the
+   reading distribution is a mixture of two uniform regimes (a genuine
+   2-histogram over the reals); after a fault it drifts to a smooth
+   Gaussian.  Gridding the range onto [0, n) lets the unmodified discrete
+   tester audit the stream: "is this still explainable by two operating
+   regimes?" *)
+
+let () =
+  let rng = Randkit.Rng.create ~seed:2712 in
+  let spec = Gridding.make ~lo:0. ~hi:10. ~cells:2048 in
+  let eps = 0.25 in
+
+  (* Normal operation: 70% of readings uniform on [1, 4), 30% on [6, 9). *)
+  let healthy_sample rng =
+    if Randkit.Rng.float rng 1. < 0.7 then 1. +. Randkit.Rng.float rng 3.
+    else 6. +. Randkit.Rng.float rng 3.
+  in
+  let healthy_density x =
+    if x >= 1. && x < 4. then 0.7 /. 3.
+    else if x >= 6. && x < 9. then 0.3 /. 3.
+    else 0.
+  in
+  (* Fault: readings drift to a Gaussian around 5. *)
+  let faulty_sample rng = Randkit.Sampler.gaussian rng ~mu:5. ~sigma:1.5 in
+
+  (* Ground truth on the gridded domain. *)
+  let healthy_pmf = Gridding.pmf_of_density spec healthy_density in
+  Format.printf "gridded ground truth: healthy has %d pieces, tv to H_4 = %.4f@."
+    (Khist.pieces_of_pmf healthy_pmf)
+    (Closest.tv_to_hk healthy_pmf ~k:4);
+
+  let audit name sample =
+    let oracle = Gridding.oracle_of_sampler spec (Randkit.Rng.split rng) sample in
+    let report = Histotest.Hist_tester.run oracle ~k:4 ~eps in
+    Format.printf "%-8s -> %a (decided at %s, %d samples)@." name Verdict.pp
+      report.Histotest.Hist_tester.verdict
+      (Histotest.Hist_tester.stage_to_string
+         report.Histotest.Hist_tester.decided_at)
+      report.Histotest.Hist_tester.samples_used
+  in
+  Format.printf "@.Auditing the continuous stream through a %d-cell grid:@."
+    (Gridding.cells spec);
+  audit "healthy" healthy_sample;
+  audit "faulty" faulty_sample;
+  Format.printf
+    "@.The tester never saw a real number: gridding reduced the continuous@.";
+  Format.printf
+    "question to the discrete one, exactly as the paper's remark suggests.@."

@@ -1,0 +1,43 @@
+type outcome = {
+  verdict : Verdict.t;
+  statistic : Chi2stat.t;
+  threshold : float;
+  samples_used : int;
+}
+
+let budget ?(config = Config.default) ~n ~eps () =
+  Config.test_samples config ~n ~eps
+
+let run ?(config = Config.default) ?cell_mask ?part oracle ~dstar ~eps =
+  if eps <= 0. || eps > 1. then invalid_arg "Adk15.run: eps outside (0, 1]";
+  let n = Pmf.size dstar in
+  if oracle.Poissonize.n <> n then
+    invalid_arg "Adk15.run: oracle/hypothesis domain mismatch";
+  let part = match part with Some p -> p | None -> Partition.trivial ~n in
+  let m = Config.test_samples config ~n ~eps in
+  let fm = float_of_int m in
+  let counts = oracle.Poissonize.poissonized fm in
+  let statistic =
+    Chi2stat.compute ?cell_mask ~counts ~m:fm ~dstar ~part ~eps ()
+  in
+  let threshold = fm *. eps *. eps /. config.Config.z_threshold_div in
+  let verdict =
+    if statistic.Chi2stat.z <= threshold then Verdict.Accept else Verdict.Reject
+  in
+  { verdict; statistic; threshold; samples_used = m }
+
+let run_boosted ?(config = Config.default) ?cell_mask ?part ~reps oracle ~dstar
+    ~eps =
+  if reps < 1 then invalid_arg "Adk15.run_boosted: reps < 1";
+  let outcomes =
+    Array.init reps (fun _ -> run ~config ?cell_mask ?part oracle ~dstar ~eps)
+  in
+  let zs = Array.map (fun o -> o.statistic.Chi2stat.z) outcomes in
+  let median_z = Numkit.Summary.median zs in
+  let first = outcomes.(0) in
+  let verdict =
+    if median_z <= first.threshold then Verdict.Accept else Verdict.Reject
+  in
+  let samples = Array.fold_left (fun a o -> a + o.samples_used) 0 outcomes in
+  ( { first with verdict; samples_used = samples },
+    Array.map (fun o -> o.statistic) outcomes )

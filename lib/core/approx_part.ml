@@ -1,0 +1,52 @@
+type result = {
+  partition : Partition.t;
+  heavy : bool array;
+  samples_used : int;
+}
+
+let run ?(config = Config.default) oracle ~b =
+  if b < 1 then invalid_arg "Approx_part.run: b must be at least 1";
+  let n = oracle.Poissonize.n in
+  let m = Config.part_samples config ~b in
+  let counts = oracle.Poissonize.exact m in
+  let fm = float_of_int m in
+  let fb = float_of_int b in
+  let freq i = float_of_int counts.(i) /. fm in
+  (* An element whose true mass is >= 1/b receives >= m/b = Θ(log b)
+     samples, so thresholding the empirical frequency at 3/(4b) catches it
+     with high probability while keeping false positives harmless (they
+     only add benign singleton cells). *)
+  let heavy_threshold = 0.75 /. fb in
+  let target = 1. /. fb in
+  let cut_points = ref [] and heavy_cells = ref [] in
+  let emit_break pos = if pos > 0 && pos < n then cut_points := pos :: !cut_points in
+  let acc = ref 0. in
+  let start = ref 0 in
+  for i = 0 to n - 1 do
+    if freq i >= heavy_threshold then begin
+      (* Close the running light interval, then isolate i as a singleton. *)
+      if i > !start then emit_break i;
+      emit_break (i + 1);
+      heavy_cells := i :: !heavy_cells;
+      acc := 0.;
+      start := i + 1
+    end
+    else begin
+      acc := !acc +. freq i;
+      (* Close once the interval holds ~1/b of the empirical mass; D(i) of
+         light elements is < 1/b so the overshoot stays below 2/b. *)
+      if !acc >= target && i + 1 < n then begin
+        emit_break (i + 1);
+        acc := 0.;
+        start := i + 1
+      end
+    end
+  done;
+  let partition = Partition.of_breakpoints ~n (List.rev !cut_points) in
+  let heavy_set = List.fold_left (fun s i -> i :: s) [] !heavy_cells in
+  let heavy =
+    Array.init (Partition.cell_count partition) (fun j ->
+        let cell = Partition.cell partition j in
+        Interval.is_singleton cell && List.mem (Interval.lo cell) heavy_set)
+  in
+  { partition; heavy; samples_used = m }

@@ -1,0 +1,46 @@
+type outcome = {
+  verdict : Verdict.t;
+  statistic : float;
+  threshold : float;
+  samples_used : int;
+}
+
+let budget ?(config = Config.default) ~n ~eps () =
+  Config.test_samples config ~n ~eps
+
+let statistic ~x ~y =
+  if Array.length x <> Array.length y then
+    invalid_arg "Closeness.statistic: mismatched count vectors";
+  let acc = Numkit.Kahan.create () in
+  for i = 0 to Array.length x - 1 do
+    let xi = float_of_int x.(i) and yi = float_of_int y.(i) in
+    let s = xi +. yi in
+    if s > 0. then
+      let d = xi -. yi in
+      Numkit.Kahan.add acc (((d *. d) -. xi -. yi) /. s)
+  done;
+  Numkit.Kahan.total acc
+
+let run ?(config = Config.default) oracle1 oracle2 ~eps =
+  if eps <= 0. || eps > 1. then invalid_arg "Closeness.run: eps outside (0, 1]";
+  let n = oracle1.Poissonize.n in
+  if oracle2.Poissonize.n <> n then
+    invalid_arg "Closeness.run: oracles over different domains";
+  let m = budget ~config ~n ~eps () in
+  let fm = float_of_int m in
+  let x = oracle1.Poissonize.poissonized fm in
+  let y = oracle2.Poissonize.poissonized fm in
+  let z = statistic ~x ~y in
+  (* Under D1 = D2 each term has mean 0 (conditionally on X+Y the
+     difference is a fair binomial walk), so E[Z] = 0 with per-term O(1)
+     variance; under dTV >= eps, E[Z] ~ sum m (p-q)^2/(p+q) >= 2 m eps^2
+     by Cauchy-Schwarz.  Threshold in the same place as the one-sample
+     test. *)
+  let threshold = fm *. eps *. eps /. config.Config.z_threshold_div in
+  let verdict = if z <= threshold then Verdict.Accept else Verdict.Reject in
+  {
+    verdict;
+    statistic = z;
+    threshold;
+    samples_used = Array.fold_left ( + ) 0 x + Array.fold_left ( + ) 0 y;
+  }

@@ -1,0 +1,20 @@
+(** Identity testing against an explicit hypothesis — thin wrappers packaging
+    the two statistics used across the repository. *)
+
+val run :
+  ?config:Config.t ->
+  Poissonize.oracle ->
+  dstar:Pmf.t ->
+  eps:float ->
+  Adk15.outcome
+(** χ² identity test over the trivial partition (accepts when D = D*,
+    rejects when ε-far). *)
+
+val l2_run :
+  ?config:Config.t ->
+  Poissonize.oracle ->
+  dstar:Pmf.t ->
+  eps:float ->
+  Verdict.t * float * float * int
+(** ℓ2-flavoured identity test (the pre-ADK15 style): returns
+    (verdict, statistic, threshold, samples). *)

@@ -1,0 +1,30 @@
+type report = {
+  verdict : Verdict.t;
+  estimated_distance : float;
+  samples_used : int;
+}
+
+let budget ~n ~k ~eps =
+  (* Learning D to TV accuracy eps/4 on [n] costs O((n + k)/eps^2); the
+     k-modal class has no sublinear tester in this repository — the point
+     of the paper's remark is precisely that Omega(k/log k) is unavoidable,
+     and E14 exercises the lower-bound side.  This plug-in tester is the
+     honest upper-bound companion at small n. *)
+  int_of_float
+    (ceil (8. *. float_of_int (n + k) /. (eps *. eps)))
+
+let run oracle ~k ~eps =
+  if k < 0 then invalid_arg "Modal_test.run: negative k";
+  if eps <= 0. || eps > 1. then invalid_arg "Modal_test.run: eps outside (0, 1]";
+  let n = oracle.Poissonize.n in
+  let m = budget ~n ~k ~eps in
+  let counts = oracle.Poissonize.exact m in
+  let empirical = Empirical.of_counts counts in
+  let estimated_distance = Modal.tv_to_kmodal empirical ~k in
+  (* The empirical distribution is within eps/4 of D whp at this budget, so
+     thresholding its exact distance-to-class at eps/2 separates the
+     in-class case (distance <= eps/4) from the eps-far case (>= 3eps/4). *)
+  let verdict =
+    if estimated_distance <= eps /. 2. then Verdict.Accept else Verdict.Reject
+  in
+  { verdict; estimated_distance; samples_used = m }

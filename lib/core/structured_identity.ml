@@ -1,0 +1,77 @@
+type outcome = {
+  verdict : Verdict.t;
+  reduced_cells : int;
+  statistic : float;
+  threshold : float;
+  samples_used : int;
+}
+
+let reduction_partition ~dstar ~k ~eps =
+  (* Refine D*'s pieces so that every cell carries D*-mass at most
+     eps / (8 k): within a piece, cells of equal length achieve this (the
+     piece is flat), and the within-cell deviation of any k-flat D is then
+     confined to the <= k-1 cells its breakpoints touch, each costing at
+     most one cell's worth of mass. *)
+  let n = Pmf.size dstar in
+  let pieces = Khist.of_pmf dstar in
+  let part = Khist.partition pieces in
+  let cap = eps /. (8. *. float_of_int k) in
+  let breaks = ref [] in
+  Partition.iteri
+    (fun j cell ->
+      let lo = Interval.lo cell and len = Interval.length cell in
+      if lo > 0 then breaks := lo :: !breaks;
+      let mass =
+        Khist.level pieces j *. float_of_int len
+      in
+      if mass > cap && len > 1 then begin
+        let sub = min len (int_of_float (ceil (mass /. cap))) in
+        for s = 1 to sub - 1 do
+          let cut = lo + (s * len / sub) in
+          if cut > lo && cut < lo + len then breaks := cut :: !breaks
+        done
+      end)
+    part;
+  Partition.of_breakpoints ~n (List.sort_uniq Int.compare !breaks)
+
+let reduce_pmf part pmf =
+  Pmf.of_weights
+    (Array.init (Partition.cell_count part) (fun j ->
+         Float.max 1e-300 (Pmf.mass_on pmf (Partition.cell part j))))
+
+let reduce_counts part counts = Empirical.cell_counts part counts
+
+let budget ?(config = Config.default) ~cells ~eps () =
+  Config.test_samples config ~n:cells ~eps
+
+let run ?(config = Config.default) oracle ~dstar ~k ~eps =
+  if eps <= 0. || eps > 1. then
+    invalid_arg "Structured_identity.run: eps outside (0, 1]";
+  if k < 1 then invalid_arg "Structured_identity.run: k must be at least 1";
+  let n = Pmf.size dstar in
+  if oracle.Poissonize.n <> n then
+    invalid_arg "Structured_identity.run: oracle/hypothesis domain mismatch";
+  let part = reduction_partition ~dstar ~k ~eps in
+  let cells = Partition.cell_count part in
+  let reduced_star = reduce_pmf part dstar in
+  (* Test the reduced multinomial at eps/2: the reduction loses at most
+     eps/4 of the distance for k-flat D (see mli). *)
+  let eps' = eps /. 2. in
+  let m = budget ~config ~cells ~eps:eps' () in
+  let fm = float_of_int m in
+  let counts = reduce_counts part (oracle.Poissonize.poissonized fm) in
+  let stat =
+    Chi2stat.compute ~counts ~m:fm ~dstar:reduced_star
+      ~part:(Partition.trivial ~n:cells) ~eps:eps' ()
+  in
+  let threshold = fm *. eps' *. eps' /. config.Config.z_threshold_div in
+  let verdict =
+    if stat.Chi2stat.z <= threshold then Verdict.Accept else Verdict.Reject
+  in
+  {
+    verdict;
+    reduced_cells = cells;
+    statistic = stat.Chi2stat.z;
+    threshold;
+    samples_used = m;
+  }

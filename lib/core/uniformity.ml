@@ -1,0 +1,37 @@
+type outcome = {
+  verdict : Verdict.t;
+  collisions : int;
+  pairs : float;
+  threshold : float;
+  samples_used : int;
+}
+
+let budget ?(config = Config.default) ~n ~eps () =
+  (* sqrt(n)/eps^2 collision regime; c_test/10 keeps it proportionate to
+     the chi-square budget without being needlessly large for this much
+     simpler statistic.  No floor: the lower-bound experiments scale this
+     budget down through zero deliberately. *)
+  let c = config.Config.c_test /. 10. in
+  max 2 (int_of_float (ceil (c *. sqrt (float_of_int n) /. (eps *. eps))))
+
+let collision_count counts =
+  let acc = ref 0 in
+  Array.iter (fun c -> acc := !acc + (c * (c - 1) / 2)) counts;
+  !acc
+
+let run ?(config = Config.default) oracle ~eps =
+  if eps <= 0. || eps > 1. then invalid_arg "Uniformity.run: eps outside (0, 1]";
+  let n = oracle.Poissonize.n in
+  let m = budget ~config ~n ~eps () in
+  let counts = oracle.Poissonize.exact m in
+  let collisions = collision_count counts in
+  let pairs = float_of_int m *. float_of_int (m - 1) /. 2. in
+  (* E[collisions] = pairs * ||D||_2^2; uniform has ||D||_2^2 = 1/n while
+     eps-far-from-uniform forces ||D||_2^2 >= (1 + 4 eps^2)/n.  Threshold
+     in the middle of the gap. *)
+  let threshold = pairs *. (1. +. (2. *. eps *. eps)) /. float_of_int n in
+  let verdict =
+    if float_of_int collisions <= threshold then Verdict.Accept
+    else Verdict.Reject
+  in
+  { verdict; collisions; pairs; threshold; samples_used = m }

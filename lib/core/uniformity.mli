@@ -1,0 +1,20 @@
+(** Collision-based uniformity testing — the k = 1 special case whose
+    Ω(√n/ε²) lower bound ([Pan08]) anchors the first term of Theorem 1.2.
+
+    The statistic is the pairwise collision count, an unbiased estimator of
+    C(m,2)·‖D‖₂²; uniform means ‖D‖₂² = 1/n while ε-far-from-uniform forces
+    ‖D‖₂² ≥ (1+4ε²)/n (since ‖D−U‖₂² ≥ ‖D−U‖₁²/n = 4ε²/n).  Used both as
+    the baseline for E4 and as the leaf test of the ILR12-style recursive
+    baseline. *)
+
+type outcome = {
+  verdict : Verdict.t;
+  collisions : int;
+  pairs : float;  (** C(m, 2) *)
+  threshold : float;
+  samples_used : int;
+}
+
+val budget : ?config:Config.t -> n:int -> eps:float -> unit -> int
+val collision_count : int array -> int
+val run : ?config:Config.t -> Poissonize.oracle -> eps:float -> outcome

@@ -1,0 +1,40 @@
+type t = { prob : float array; alias : int array }
+
+let of_pmf pmf =
+  (* Vose's stable construction: O(n) setup, O(1) per draw. *)
+  let p = Pmf.unsafe_array pmf in
+  let n = Array.length p in
+  let prob = Array.make n 0. and alias = Array.make n 0 in
+  let scaled = Array.map (fun x -> x *. float_of_int n) p in
+  let small = Queue.create () and large = Queue.create () in
+  Array.iteri
+    (fun i x -> if x < 1. then Queue.add i small else Queue.add i large)
+    scaled;
+  while (not (Queue.is_empty small)) && not (Queue.is_empty large) do
+    let s = Queue.pop small and l = Queue.pop large in
+    prob.(s) <- scaled.(s);
+    alias.(s) <- l;
+    scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.;
+    if scaled.(l) < 1. then Queue.add l small else Queue.add l large
+  done;
+  (* Whatever remains is 1 up to rounding. *)
+  Queue.iter (fun i -> prob.(i) <- 1.) small;
+  Queue.iter (fun i -> prob.(i) <- 1.) large;
+  { prob; alias }
+
+let size t = Array.length t.prob
+
+let draw t rng =
+  let i = Randkit.Rng.int rng (size t) in
+  if Randkit.Rng.float rng 1. < t.prob.(i) then i else t.alias.(i)
+
+let draw_many t rng m =
+  Array.init m (fun _ -> draw t rng)
+
+let draw_counts t rng m =
+  let counts = Array.make (size t) 0 in
+  for _ = 1 to m do
+    let i = draw t rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  counts

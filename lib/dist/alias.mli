@@ -1,0 +1,17 @@
+(** Vose's alias method: O(n) preprocessing, O(1) per sample.  Every tester
+    experiment draws up to millions of samples per trial, so this is the hot
+    path of the whole benchmark harness. *)
+
+type t
+
+val of_pmf : Pmf.t -> t
+val size : t -> int
+
+val draw : t -> Randkit.Rng.t -> int
+(** One sample (a domain element in [0..n-1]). *)
+
+val draw_many : t -> Randkit.Rng.t -> int -> int array
+(** [m] iid samples. *)
+
+val draw_counts : t -> Randkit.Rng.t -> int -> int array
+(** Occurrence counts N_i of [m] iid samples (multinomial). *)

@@ -1,0 +1,42 @@
+(** Distribution families used as workloads throughout the experiments:
+    members of H_k (completeness instances), distributions far from H_k
+    (soundness instances), and the paper's lower-bound constructions. *)
+
+val uniform : int -> Pmf.t
+(** The 1-histogram. *)
+
+val zipf : n:int -> s:float -> Pmf.t
+(** Power-law ranks — the classic database attribute-skew model. *)
+
+val geometric_like : n:int -> ratio:float -> Pmf.t
+(** p(i) ∝ ratio^i. *)
+
+val staircase : n:int -> k:int -> rng:Randkit.Rng.t -> Pmf.t
+(** k equal-width steps with random levels — an exactly-k-piece histogram
+    (almost surely). *)
+
+val random_khist : n:int -> k:int -> rng:Randkit.Rng.t -> Pmf.t
+(** k pieces at uniformly random breakpoints with random levels. *)
+
+val paninski : n:int -> eps:float -> c:float -> rng:Randkit.Rng.t -> Pmf.t
+(** The Q_ε family of Proposition 4.1: pairs (2i−1, 2i) perturbed to
+    (1 ± c·ε)/n with independent random signs.  TV distance c·ε/2 from
+    uniform, and ≥ c·ε/6 from any H_k with k < n/3 (paper, §4.1).
+    @raise Invalid_argument if n is odd or c·ε ≥ 1. *)
+
+val mixture : (float * Pmf.t) list -> Pmf.t
+(** Weighted mixture (weights normalized). *)
+
+val spiked : n:int -> spikes:int -> spike_mass:float -> rng:Randkit.Rng.t -> Pmf.t
+(** Uniform background plus [spikes] random heavy singletons sharing
+    [spike_mass] — far from H_k for k well below 2·spikes. *)
+
+val comb : n:int -> teeth:int -> Pmf.t
+(** Alternating high/low blocks: an exactly (2·teeth)-histogram. *)
+
+val discretized_gaussian : n:int -> mu:float -> sigma:float -> Pmf.t
+val bimodal : n:int -> Pmf.t
+
+val monotone_decreasing : n:int -> power:float -> Pmf.t
+(** p(i) ∝ (i+1)^(−power); smooth, far from coarse histograms for large
+    power. *)

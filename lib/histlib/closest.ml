@@ -1,0 +1,182 @@
+type cell = { value : float; weight : float }
+(* [weight] is the l1 weight of the cell: its length for kept cells, 0 for
+   cells excluded from the (restricted) domain. *)
+
+let seg_cost_table cells =
+  let kk = Array.length cells in
+  let table = Array.make_matrix kk kk 0. in
+  for l = 0 to kk - 1 do
+    let med = Numkit.Wmedian.create () in
+    for r = l to kk - 1 do
+      Numkit.Wmedian.add med ~value:cells.(r).value ~weight:cells.(r).weight;
+      table.(l).(r) <- Numkit.Wmedian.cost med
+    done
+  done;
+  table
+
+let fit_cells cells ~k =
+  let kk = Array.length cells in
+  if kk = 0 then invalid_arg "Closest.fit_cells: no cells";
+  if k <= 0 then invalid_arg "Closest.fit_cells: k must be positive";
+  let k = min k kk in
+  let seg = seg_cost_table cells in
+  let dp = Array.make_matrix k kk infinity in
+  let choice = Array.make_matrix k kk 0 in
+  for r = 0 to kk - 1 do
+    dp.(0).(r) <- seg.(0).(r)
+  done;
+  for j = 1 to k - 1 do
+    for r = j to kk - 1 do
+      for l = j to r do
+        let c = dp.(j - 1).(l - 1) +. seg.(l).(r) in
+        if c < dp.(j).(r) then begin
+          dp.(j).(r) <- c;
+          choice.(j).(r) <- l
+        end
+      done
+    done
+  done;
+  let rec walk j r acc =
+    if j = 0 then 0 :: acc
+    else
+      let l = choice.(j).(r) in
+      walk (j - 1) (l - 1) (l :: acc)
+  in
+  let starts = walk (k - 1) (kk - 1) [] in
+  (dp.(k - 1).(kk - 1), starts)
+
+let fit_levels cells starts =
+  (* Re-derive the optimal level (weighted median) of each chosen piece. *)
+  let kk = Array.length cells in
+  let bounds = Array.of_list (starts @ [ kk ]) in
+  Array.init
+    (Array.length bounds - 1)
+    (fun p ->
+      let med = Numkit.Wmedian.create () in
+      for c = bounds.(p) to bounds.(p + 1) - 1 do
+        Numkit.Wmedian.add med ~value:cells.(c).value ~weight:cells.(c).weight
+      done;
+      let m = Numkit.Wmedian.median med in
+      if Float.is_nan m then 0. else m)
+
+(* Compress a pmf (plus a point-level keep mask) into DP cells: maximal runs
+   of equal (value, kept) status.  Excluded runs of length >= 2 are split in
+   two zero-weight cells so the DP can place a piece boundary strictly
+   inside them at no cost. *)
+let cells_of_pmf ?mask pmf =
+  let n = Pmf.size pmf in
+  let p = Pmf.unsafe_array pmf in
+  let kept i = match mask with None -> true | Some m -> m.(i) in
+  let runs = ref [] in
+  let run_start = ref 0 in
+  let flush stop =
+    if stop > !run_start then begin
+      let len = stop - !run_start in
+      let is_kept = kept !run_start in
+      let v = p.(!run_start) in
+      if is_kept then runs := { value = v; weight = float_of_int len } :: !runs
+      else if len = 1 then runs := { value = v; weight = 0. } :: !runs
+      else begin
+        (* Two free half-cells allow an interior piece boundary. *)
+        runs := { value = v; weight = 0. } :: { value = v; weight = 0. } :: !runs
+      end;
+      run_start := stop
+    end
+  in
+  for i = 1 to n - 1 do
+    if p.(i) <> p.(i - 1) || kept i <> kept (i - 1) then flush i
+  done;
+  flush n;
+  Array.of_list (List.rev !runs)
+
+let l1_to_hk ?mask pmf ~k =
+  let cells = cells_of_pmf ?mask pmf in
+  let cost, _ = fit_cells cells ~k in
+  cost
+
+let tv_to_hk ?mask pmf ~k = 0.5 *. l1_to_hk ?mask pmf ~k
+
+let witness ?mask pmf ~k =
+  let n = Pmf.size pmf in
+  let cells = cells_of_pmf ?mask pmf in
+  let cost, starts = fit_cells cells ~k in
+  let levels = fit_levels cells starts in
+  (* Map cell starts back to domain positions. *)
+  let cell_lo = Array.make (Array.length cells) 0 in
+  let ci = ref 0 in
+  let p = Pmf.unsafe_array pmf in
+  let kept i = match mask with None -> true | Some m -> m.(i) in
+  (* Reconstruct the same run decomposition to learn cell extents. *)
+  let run_start = ref 0 in
+  let assign stop =
+    if stop > !run_start then begin
+      let len = stop - !run_start in
+      let is_kept = kept !run_start in
+      if is_kept || len = 1 then begin
+        cell_lo.(!ci) <- !run_start;
+        incr ci
+      end
+      else begin
+        cell_lo.(!ci) <- !run_start;
+        cell_lo.(!ci + 1) <- !run_start + (len / 2);
+        ci := !ci + 2
+      end;
+      run_start := stop
+    end
+  in
+  for i = 1 to n - 1 do
+    if p.(i) <> p.(i - 1) || kept i <> kept (i - 1) then assign i
+  done;
+  assign n;
+  let breaks =
+    List.filter_map
+      (fun s -> if s = 0 then None else Some cell_lo.(s))
+      starts
+    |> List.sort_uniq Int.compare
+  in
+  let part = Partition.of_breakpoints ~n breaks in
+  (* One level per partition cell, from the DP pieces. *)
+  let piece_of_pos =
+    let bounds = Array.of_list (List.map (fun s -> cell_lo.(s)) starts) in
+    fun x ->
+      let idx = ref 0 in
+      Array.iteri (fun j b -> if b <= x then idx := j) bounds;
+      !idx
+  in
+  let lv =
+    Array.init (Partition.cell_count part) (fun j ->
+        levels.(piece_of_pos (Interval.lo (Partition.cell part j))))
+  in
+  (cost, Khist.make part lv)
+
+let brute_force_l1 ?mask pmf ~k =
+  (* Exhaustive search over all breakpoint placements; exponential, only for
+     cross-checking the DP on tiny domains in the test suite. *)
+  let n = Pmf.size pmf in
+  if n > 16 then invalid_arg "Closest.brute_force_l1: domain too large";
+  let p = Pmf.unsafe_array pmf in
+  let kept i = match mask with None -> true | Some m -> m.(i) in
+  let best = ref infinity in
+  (* Choose up to k-1 breakpoints among positions 1..n-1. *)
+  let rec go pos pieces_left breaks =
+    if pos > n - 1 || pieces_left = 0 then eval (List.rev breaks)
+    else begin
+      go (pos + 1) pieces_left breaks;
+      go (pos + 1) (pieces_left - 1) (pos :: breaks)
+    end
+  and eval breaks =
+    let bounds = Array.of_list ((0 :: breaks) @ [ n ]) in
+    let total = ref 0. in
+    for b = 0 to Array.length bounds - 2 do
+      let lo = bounds.(b) and hi = bounds.(b + 1) in
+      let med = Numkit.Wmedian.create () in
+      for i = lo to hi - 1 do
+        Numkit.Wmedian.add med ~value:p.(i)
+          ~weight:(if kept i then 1. else 0.)
+      done;
+      total := !total +. Numkit.Wmedian.cost med
+    done;
+    if !total < !best then best := !total
+  in
+  go 1 (k - 1) [];
+  !best

@@ -1,0 +1,40 @@
+(** Exact distance from an explicit distribution to the class H_k, under
+    total variation, optionally restricted to a sub-domain — the dynamic
+    program behind the Checking step of Algorithm 1 (Step 10, after
+    CDGR16 Lemma 4.11).
+
+    The input is compressed to maximal constant runs first, which is
+    lossless: within a run of the target, the segment cost is linear in the
+    position of a piece boundary, so an optimal solution exists whose
+    boundaries sit on run boundaries.  Excluded (masked-out) regions carry
+    weight 0 — pieces may change value freely across them, which is exactly
+    the semantics of the sieved domain G.
+
+    Note the fit is over all piecewise-constant functions with at most k
+    pieces (no sum-to-one constraint): on a restricted domain the excluded
+    region absorbs the normalization slack, matching the paper's use. *)
+
+type cell = { value : float; weight : float }
+
+val fit_cells : cell array -> k:int -> float * int list
+(** Optimal ≤k-piece weighted-L1 segmentation of a cell sequence:
+    (cost, piece start indices, first = 0).  O(K²·k) time after an
+    O(K² log K) cost-table pass. *)
+
+val cells_of_pmf : ?mask:bool array -> Pmf.t -> cell array
+(** Run-compression of a pmf under an optional keep-mask; masked-out runs
+    become zero-weight cells (split in two when long enough to host an
+    interior boundary). *)
+
+val l1_to_hk : ?mask:bool array -> Pmf.t -> k:int -> float
+(** min over ≤k-piece functions h of Σ_{i kept} |D(i) − h(i)|. *)
+
+val tv_to_hk : ?mask:bool array -> Pmf.t -> k:int -> float
+(** Half of {!l1_to_hk} — the restricted dTV(D, H_k) of the paper. *)
+
+val witness : ?mask:bool array -> Pmf.t -> k:int -> float * Khist.t
+(** The cost together with an optimal ≤k-piece fit. *)
+
+val brute_force_l1 : ?mask:bool array -> Pmf.t -> k:int -> float
+(** Exhaustive reference implementation, domains of size ≤ 16 only; used by
+    the test suite to certify the DP. @raise Invalid_argument beyond. *)

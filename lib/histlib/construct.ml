@@ -1,0 +1,235 @@
+let equi_width pmf ~k =
+  let n = Pmf.size pmf in
+  Khist.flatten_pmf pmf (Partition.equal_width ~n ~cells:k)
+
+let equi_depth pmf ~k =
+  let n = Pmf.size pmf in
+  if k <= 0 || k > n then invalid_arg "Construct.equi_depth: need 0 < k <= n";
+  let cdf = Pmf.cdf pmf in
+  (* Cut where the CDF crosses j/k; duplicate cuts collapse (heavy
+     elements), so the result may have fewer than k cells. *)
+  let breaks = ref [] in
+  for j = 1 to k - 1 do
+    let target = float_of_int j /. float_of_int k in
+    let b = Numkit.Search.lower_bound cdf target - 1 in
+    let b = max 1 (min (n - 1) b) in
+    breaks := b :: !breaks
+  done;
+  Khist.flatten_pmf pmf (Partition.of_breakpoints ~n (List.rev !breaks))
+
+(* Weighted sum of squared errors of fitting one constant (the weighted
+   mean) to cells [l..r], from prefix sums: cost = ssq - s^2 / w. *)
+let seg_cost_l2 ~wpre ~spre ~sspre l r =
+  let w = wpre.(r + 1) -. wpre.(l) in
+  if w <= 0. then 0.
+  else
+    let s = spre.(r + 1) -. spre.(l) in
+    let ss = sspre.(r + 1) -. sspre.(l) in
+    Float.max 0. (ss -. (s *. s /. w))
+
+let v_optimal_cells ~values ~weights ~k =
+  let kk = Array.length values in
+  if Array.length weights <> kk then
+    invalid_arg "Construct.v_optimal_cells: values/weights length mismatch";
+  if k <= 0 then invalid_arg "Construct.v_optimal_cells: k must be positive";
+  let k = min k kk in
+  let wpre = Numkit.Summary.prefix_sums weights in
+  let spre =
+    Numkit.Summary.prefix_sums (Array.mapi (fun i v -> v *. weights.(i)) values)
+  in
+  let sspre =
+    Numkit.Summary.prefix_sums
+      (Array.mapi (fun i v -> v *. v *. weights.(i)) values)
+  in
+  let cost = seg_cost_l2 ~wpre ~spre ~sspre in
+  (* dp.(j).(r): best cost of covering cells 0..r with j+1 pieces. *)
+  let dp = Array.make_matrix k kk infinity in
+  let choice = Array.make_matrix k kk 0 in
+  for r = 0 to kk - 1 do
+    dp.(0).(r) <- cost 0 r
+  done;
+  for j = 1 to k - 1 do
+    for r = j to kk - 1 do
+      for l = j to r do
+        let c = dp.(j - 1).(l - 1) +. cost l r in
+        if c < dp.(j).(r) then begin
+          dp.(j).(r) <- c;
+          choice.(j).(r) <- l
+        end
+      done
+    done
+  done;
+  (* Recover the piece boundaries (indices of first cell of each piece). *)
+  let rec walk j r acc =
+    if j = 0 then 0 :: acc
+    else
+      let l = choice.(j).(r) in
+      walk (j - 1) (l - 1) (l :: acc)
+  in
+  let starts = walk (k - 1) (kk - 1) [] in
+  (dp.(k - 1).(kk - 1), starts)
+
+let v_optimal pmf ~k =
+  let n = Pmf.size pmf in
+  (* Compress the pmf to its maximal constant runs first: exact and turns
+     the O(n^2 k) DP into O(K^2 k) on already-piecewise inputs. *)
+  let runs = Khist.of_pmf pmf in
+  let part = Khist.partition runs in
+  let values = Khist.levels runs in
+  let weights =
+    Array.init (Partition.cell_count part) (fun j ->
+        float_of_int (Interval.length (Partition.cell part j)))
+  in
+  let _, starts = v_optimal_cells ~values ~weights ~k in
+  let breaks =
+    List.filter_map
+      (fun s ->
+        if s = 0 then None else Some (Interval.lo (Partition.cell part s)))
+      starts
+  in
+  let out_part = Partition.of_breakpoints ~n breaks in
+  Khist.flatten_pmf pmf out_part
+
+type merge_segment = {
+  mutable live : bool;
+  mutable weight : float;
+  mutable sum : float;
+  mutable sum_sq : float;
+  mutable lo : int;
+  mutable hi : int;
+  mutable prev : int;
+  mutable next : int;
+  mutable stamp : int;
+}
+
+let greedy_merge_cells ~values ~weights ~k =
+  let kk = Array.length values in
+  if Array.length weights <> kk then
+    invalid_arg "Construct.greedy_merge_cells: values/weights length mismatch";
+  if k <= 0 then invalid_arg "Construct.greedy_merge_cells: k must be positive";
+  let segs =
+    Array.init kk (fun i ->
+        {
+          live = true;
+          weight = weights.(i);
+          sum = values.(i) *. weights.(i);
+          sum_sq = values.(i) *. values.(i) *. weights.(i);
+          lo = i;
+          hi = i + 1;
+          prev = i - 1;
+          next = (if i + 1 < kk then i + 1 else -1);
+          stamp = 0;
+        })
+  in
+  let seg_cost s =
+    if s.weight <= 0. then 0.
+    else Float.max 0. (s.sum_sq -. (s.sum *. s.sum /. s.weight))
+  in
+  let merge_delta a b =
+    let w = a.weight +. b.weight
+    and s = a.sum +. b.sum
+    and ss = a.sum_sq +. b.sum_sq in
+    let merged = if w <= 0. then 0. else Float.max 0. (ss -. (s *. s /. w)) in
+    merged -. seg_cost a -. seg_cost b
+  in
+  let heap = Numkit.Heap.create () in
+  let offer i =
+    let a = segs.(i) in
+    if a.live && a.next >= 0 then
+      Numkit.Heap.push heap
+        ~priority:(merge_delta a segs.(a.next))
+        (i, a.stamp, segs.(a.next).stamp)
+  in
+  for i = 0 to kk - 2 do
+    offer i
+  done;
+  let remaining = ref kk in
+  while !remaining > k do
+    match Numkit.Heap.pop heap with
+    | None -> remaining := k (* no mergeable pair left; cannot happen *)
+    | Some (_, (i, stamp_a, stamp_b)) ->
+        let a = segs.(i) in
+        if a.live && a.stamp = stamp_a && a.next >= 0
+           && segs.(a.next).stamp = stamp_b
+        then begin
+          let b = segs.(a.next) in
+          (* Absorb b into a. *)
+          a.weight <- a.weight +. b.weight;
+          a.sum <- a.sum +. b.sum;
+          a.sum_sq <- a.sum_sq +. b.sum_sq;
+          a.hi <- b.hi;
+          a.next <- b.next;
+          if b.next >= 0 then segs.(b.next).prev <- i;
+          b.live <- false;
+          a.stamp <- a.stamp + 1;
+          decr remaining;
+          offer i;
+          if a.prev >= 0 then offer a.prev
+        end
+  done;
+  (* Collect live segments in order. *)
+  let out = ref [] in
+  let rec collect i =
+    if i >= 0 then begin
+      let s = segs.(i) in
+      out := (s.lo, s.hi) :: !out;
+      collect s.next
+    end
+  in
+  collect 0;
+  List.rev !out
+
+let greedy_merge pmf ~k =
+  let n = Pmf.size pmf in
+  let runs = Khist.of_pmf pmf in
+  let part = Khist.partition runs in
+  let values = Khist.levels runs in
+  let weights =
+    Array.init (Partition.cell_count part) (fun j ->
+        float_of_int (Interval.length (Partition.cell part j)))
+  in
+  let pieces = greedy_merge_cells ~values ~weights ~k in
+  let breaks =
+    List.filter_map
+      (fun (lo, _) ->
+        if lo = 0 then None else Some (Interval.lo (Partition.cell part lo)))
+      pieces
+  in
+  Khist.flatten_pmf pmf (Partition.of_breakpoints ~n breaks)
+
+let end_biased pmf ~heavy_cutoff ~k =
+  if heavy_cutoff <= 0. || heavy_cutoff > 1. then
+    invalid_arg "Construct.end_biased: heavy_cutoff outside (0, 1]";
+  if k <= 0 then invalid_arg "Construct.end_biased: k must be positive";
+  let n = Pmf.size pmf in
+  (* Heavy elements become exact singleton buckets (the "end-biased"
+     compressed histograms of Poosala et al.); the remaining mass gets an
+     equi-depth split of the leftover bucket budget. *)
+  let heavy =
+    List.filter (fun i -> Pmf.get pmf i >= heavy_cutoff) (Pmf.support pmf)
+  in
+  let heavy = List.filteri (fun rank _ -> rank < k - 1) heavy in
+  let singleton_breaks =
+    List.concat_map
+      (fun i ->
+        (if i > 0 then [ i ] else []) @ if i + 1 < n then [ i + 1 ] else [])
+      heavy
+  in
+  let remaining = max 1 (k - List.length heavy) in
+  (* Equi-depth cuts of the light mass, from the light-only CDF. *)
+  let light_cdf = Array.make (n + 1) 0. in
+  for i = 0 to n - 1 do
+    let w = if List.mem i heavy then 0. else Pmf.get pmf i in
+    light_cdf.(i + 1) <- light_cdf.(i) +. w
+  done;
+  let light_total = light_cdf.(n) in
+  let depth_breaks = ref [] in
+  if light_total > 0. then
+    for j = 1 to remaining - 1 do
+      let target = light_total *. float_of_int j /. float_of_int remaining in
+      let b = Numkit.Search.lower_bound light_cdf target - 1 in
+      let b = max 1 (min (n - 1) b) in
+      depth_breaks := b :: !depth_breaks
+    done;
+  let breaks = List.sort_uniq Int.compare (singleton_breaks @ !depth_breaks) in
+  Khist.flatten_pmf pmf (Partition.of_breakpoints ~n breaks)

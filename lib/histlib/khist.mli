@@ -1,0 +1,46 @@
+(** Succinct piecewise-constant representations: the class H_k of the paper.
+
+    A [Khist.t] is a partition of [0..n-1] into contiguous cells plus one
+    per-element level per cell; it represents a function (usually a pmf,
+    but the type also carries sub-normalized learner outputs — check
+    [total_mass] when it matters). *)
+
+type t
+
+val make : Partition.t -> float array -> t
+(** One finite nonnegative level per cell; levels are per-element
+    probabilities, so the represented mass is Σ level·|cell|. *)
+
+val partition : t -> Partition.t
+val levels : t -> float array
+val pieces : t -> int
+val domain_size : t -> int
+val level : t -> int -> float
+
+val value_at : t -> int -> float
+(** Value at a domain point (O(log pieces)). *)
+
+val total_mass : t -> float
+
+val to_pmf : t -> Pmf.t
+(** @raise Invalid_argument if the represented mass is not 1. *)
+
+val breakpoints_of_pmf : ?eps:float -> Pmf.t -> int list
+(** Positions i ≥ 1 with |D(i) − D(i−1)| > eps (default: exact
+    inequality), ascending — the paper's breakpoints. *)
+
+val pieces_of_pmf : ?eps:float -> Pmf.t -> int
+val is_k_histogram : ?eps:float -> Pmf.t -> k:int -> bool
+
+val of_pmf : ?eps:float -> Pmf.t -> t
+(** Exact piecewise-constant decomposition into maximal constant runs. *)
+
+val breakpoint_cells : Pmf.t -> Partition.t -> bool array
+(** Which cells of a partition contain a breakpoint of the pmf strictly
+    inside them — the set J of Lemma 3.5 (≤ k−1 cells when D ∈ H_k). *)
+
+val flatten_pmf : Pmf.t -> Partition.t -> t
+(** The histogram whose cell levels are the conditional-uniform masses
+    D(I)/|I|. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+(** Compensated (Kahan–Neumaier) floating-point summation.
+
+    Probability computations in this library accumulate up to millions of
+    terms of widely varying magnitude (e.g. the χ² statistic over a domain of
+    size [n]); naive summation loses enough precision to flip tester
+    verdicts near thresholds, so every such sum goes through this module. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+(** A fresh accumulator holding 0. *)
+
+val add : t -> float -> unit
+(** [add t x] accumulates [x] with Neumaier compensation. *)
+
+val total : t -> float
+(** Current compensated total. *)
+
+val sum_array : float array -> float
+(** Compensated sum of an array. *)
+
+val sum_seq : float Seq.t -> float
+(** Compensated sum of a sequence. *)
+
+val sum_f : int -> (int -> float) -> float
+(** [sum_f n f] is the compensated sum of [f 0 .. f (n-1)]. *)

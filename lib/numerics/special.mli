@@ -1,0 +1,41 @@
+(** Special functions needed by the samplers and statistical tests.
+
+    Everything here is self-contained (the container has no scientific
+    library); accuracies are stated per function and are orders of magnitude
+    finer than the sampling noise of any experiment in this repository. *)
+
+val pi : float
+
+val log_gamma : float -> float
+(** Lanczos approximation of [log Γ(x)], absolute error ≲ 1e-13 for x > 0.
+    Negative non-integer arguments are handled through the reflection
+    formula. *)
+
+val log_factorial : int -> float
+(** [log n!]; table-driven for [n < 1024], [log_gamma] beyond.
+    @raise Invalid_argument on negative input. *)
+
+val log_binomial : int -> int -> float
+(** [log_binomial n k] is [log (n choose k)]; [neg_infinity] outside
+    [0 <= k <= n]. *)
+
+val erf : float -> float
+(** Error function, absolute error ≤ 1.5e-7 (Abramowitz–Stegun 7.1.26). *)
+
+val normal_cdf : ?mu:float -> ?sigma:float -> float -> float
+(** Gaussian CDF. @raise Invalid_argument if [sigma <= 0]. *)
+
+val normal_quantile : float -> float
+(** Inverse standard-normal CDF (Acklam + one Halley refinement step,
+    relative error < 1e-9). @raise Invalid_argument unless [0 < p < 1]. *)
+
+val log_poisson_pmf : mean:float -> int -> float
+(** [log P(Poisson(mean) = k)]. *)
+
+val poisson_pmf : mean:float -> int -> float
+
+val gamma_p : float -> float -> float
+(** Regularized lower incomplete gamma [P(a, x)]. *)
+
+val poisson_cdf : mean:float -> int -> float
+(** [P(Poisson(mean) <= k)]. *)

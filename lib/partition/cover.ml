@@ -1,0 +1,29 @@
+let of_mask mask =
+  let chunks = ref 0 in
+  let inside = ref false in
+  Array.iter
+    (fun b ->
+      if b && not !inside then incr chunks;
+      inside := b)
+    mask;
+  !chunks
+
+let of_points ~n points =
+  let mask = Array.make n false in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= n then invalid_arg "Cover.of_points: point outside domain";
+      mask.(i) <- true)
+    points;
+  of_mask mask
+
+let right_borders ~n points =
+  (* The statistic X of Lemma 4.4: the number of positions i with
+     i in S but i+1 not in S, restricted to i < n-1 ("right borders"). *)
+  let mask = Array.make n false in
+  List.iter (fun i -> mask.(i) <- true) points;
+  let x = ref 0 in
+  for i = 0 to n - 2 do
+    if mask.(i) && not mask.(i + 1) then incr x
+  done;
+  !x

@@ -1,0 +1,39 @@
+(** Half-open integer intervals [lo, hi) over the 0-indexed domain
+    [0..n-1].  The paper's intervals are contiguous blocks of the ordered
+    universe [n]; every partition, histogram piece and sieve decision in
+    this library is phrased in terms of these. *)
+
+type t
+
+val make : lo:int -> hi:int -> t
+(** @raise Invalid_argument if [lo > hi]; [lo = hi] is the empty interval. *)
+
+val lo : t -> int
+val hi : t -> int
+val length : t -> int
+val is_empty : t -> bool
+val mem : t -> int -> bool
+val is_singleton : t -> bool
+
+val compare : t -> t -> int
+(** Lexicographic on (lo, hi). *)
+
+val equal : t -> t -> bool
+
+val contains : outer:t -> inner:t -> bool
+val intersect : t -> t -> t option
+val disjoint : t -> t -> bool
+val adjacent : t -> t -> bool
+
+val union_adjacent : t -> t -> t
+(** @raise Invalid_argument unless the two intervals share an endpoint. *)
+
+val split_at : t -> int -> t * t
+(** [split_at t i] = ([lo, i), [i, hi)).
+    @raise Invalid_argument unless [i] is strictly interior. *)
+
+val to_list : t -> int list
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+val iter : (int -> unit) -> t -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

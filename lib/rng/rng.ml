@@ -1,0 +1,50 @@
+type t = Xoshiro.t
+
+let create ~seed = Xoshiro.of_seed (Int64.of_int seed)
+let of_int64 seed = Xoshiro.of_seed seed
+let copy = Xoshiro.copy
+
+let split t =
+  let child = Xoshiro.copy t in
+  Xoshiro.jump child;
+  (* Also step the parent so repeated splits give distinct children. *)
+  ignore (Xoshiro.next t);
+  child
+
+let bits64 = Xoshiro.next
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if bound = 1 then 0
+  else begin
+    (* Rejection sampling on the top bits to avoid modulo bias. *)
+    let b = Int64.of_int bound in
+    let rec draw () =
+      let r = Int64.shift_right_logical (Xoshiro.next t) 1 in
+      (* r is uniform on [0, 2^63); reject the final partial block. *)
+      let max_fair = Int64.sub Int64.max_int (Int64.rem Int64.max_int b) in
+      if r >= max_fair then draw () else Int64.to_int (Int64.rem r b)
+    in
+    draw ()
+  end
+
+let int_in_range t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.int_in_range: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  if bound <= 0. then invalid_arg "Rng.float: bound must be positive";
+  (* 53 uniform mantissa bits -> uniform in [0, 1). *)
+  let r = Int64.shift_right_logical (Xoshiro.next t) 11 in
+  Int64.to_float r *. (1. /. 9007199254740992.) *. bound
+
+let unit_open t =
+  (* Uniform in (0, 1): resample the measure-zero endpoint, which some
+     samplers (log of it) cannot accept. *)
+  let rec draw () =
+    let u = float t 1. in
+    if u > 0. then u else draw ()
+  in
+  draw ()
+
+let bool t = Int64.logand (Xoshiro.next t) 1L = 1L

@@ -1,0 +1,131 @@
+let bernoulli rng p =
+  if p < 0. || p > 1. then invalid_arg "Sampler.bernoulli: p outside [0, 1]";
+  Rng.float rng 1. < p
+
+let exponential rng ~rate =
+  if rate <= 0. then invalid_arg "Sampler.exponential: rate must be positive";
+  -.log (Rng.unit_open rng) /. rate
+
+let gaussian rng ~mu ~sigma =
+  if sigma < 0. then invalid_arg "Sampler.gaussian: sigma must be nonnegative";
+  (* Marsaglia polar method; one of the pair is discarded to keep the
+     generator stateless. *)
+  let rec draw () =
+    let u = (2. *. Rng.float rng 1.) -. 1. in
+    let v = (2. *. Rng.float rng 1.) -. 1. in
+    let s = (u *. u) +. (v *. v) in
+    if s >= 1. || s = 0. then draw ()
+    else u *. sqrt (-2. *. log s /. s)
+  in
+  mu +. (sigma *. draw ())
+
+let geometric rng ~p =
+  if p <= 0. || p > 1. then invalid_arg "Sampler.geometric: p outside (0, 1]";
+  if p = 1. then 0
+  else
+    (* Inversion: floor(log U / log(1-p)) counts failures before success. *)
+    int_of_float (floor (log (Rng.unit_open rng) /. log (1. -. p)))
+
+(* Knuth's multiplication method: expected time O(mean). *)
+let poisson_small rng mean =
+  let l = exp (-.mean) in
+  let rec loop k p =
+    let p = p *. Rng.float rng 1. in
+    if p <= l then k else loop (k + 1) p
+  in
+  loop 0 1.
+
+(* Hörmann's PTRS transformed-rejection sampler: O(1) expected time for
+   large means.  Constants from "The transformed rejection method for
+   generating Poisson random variables" (1993). *)
+let poisson_ptrs rng mean =
+  let b = 0.931 +. (2.53 *. sqrt mean) in
+  let a = -0.059 +. (0.02483 *. b) in
+  let inv_alpha = 1.1239 +. (1.1328 /. (b -. 3.4)) in
+  let v_r = 0.9277 -. (3.6224 /. (b -. 2.)) in
+  let log_mean = log mean in
+  let rec loop () =
+    let u = Rng.float rng 1. -. 0.5 in
+    let v = Rng.unit_open rng in
+    let us = 0.5 -. Float.abs u in
+    let k =
+      int_of_float
+        (floor (((2. *. a /. us) +. b) *. u +. mean +. 0.43))
+    in
+    if us >= 0.07 && v <= v_r then k
+    else if k < 0 || (us < 0.013 && v > us) then loop ()
+    else if
+      log (v *. inv_alpha /. ((a /. (us *. us)) +. b))
+      <= (float_of_int k *. log_mean) -. mean -. Numkit.Special.log_factorial k
+    then k
+    else loop ()
+  in
+  loop ()
+
+let poisson rng ~mean =
+  if mean < 0. then invalid_arg "Sampler.poisson: negative mean";
+  if mean = 0. then 0
+  else if mean < 30. then poisson_small rng mean
+  else poisson_ptrs rng mean
+
+let rec binomial rng ~n ~p =
+  if n < 0 then invalid_arg "Sampler.binomial: n must be nonnegative";
+  if p < 0. || p > 1. then invalid_arg "Sampler.binomial: p outside [0, 1]";
+  if p = 0. || n = 0 then 0
+  else if p = 1. then n
+  else if p > 0.5 then n - binomial_complement rng ~n ~p:(1. -. p)
+  else binomial_complement rng ~n ~p
+
+(* Waiting-time method: skip over failures with geometric jumps; expected
+   time O(n * p), which is fast in the small-p regime all our workloads
+   live in (bin probabilities). *)
+and binomial_complement rng ~n ~p =
+  let rec loop i successes =
+    let jump = geometric rng ~p in
+    let i = i + jump + 1 in
+    if i > n then successes else loop i (successes + 1)
+  in
+  loop 0 0
+
+let categorical_from_cdf rng cdf =
+  let n = Array.length cdf in
+  if n = 0 then invalid_arg "Sampler.categorical_from_cdf: empty CDF";
+  let u = Rng.float rng cdf.(n - 1) in
+  Numkit.Search.upper_bound cdf u |> min (n - 1)
+
+let permutation rng n =
+  let a = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+let shuffle_in_place rng a =
+  let n = Array.length a in
+  for i = n - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement rng ~n ~k =
+  if k < 0 || k > n then
+    invalid_arg "Sampler.sample_without_replacement: need 0 <= k <= n";
+  (* Floyd's algorithm: O(k) expected, no O(n) allocation. *)
+  let chosen = Hashtbl.create (2 * k) in
+  let out = ref [] in
+  for j = n - k to n - 1 do
+    let t = Rng.int rng (j + 1) in
+    let pick = if Hashtbl.mem chosen t then j else t in
+    Hashtbl.replace chosen pick ();
+    out := pick :: !out
+  done;
+  !out
+
+let zipf_weights ~n ~s =
+  if n <= 0 then invalid_arg "Sampler.zipf_weights: n must be positive";
+  Array.init n (fun i -> (float_of_int (i + 1)) ** (-.s))

@@ -1,0 +1,37 @@
+(** Scalar random samplers.
+
+    The Poisson sampler is the backbone of the "Poissonization trick" the
+    paper's upper bounds rely on (Section 2): instead of exactly [m] samples
+    the testers draw [Poisson(m)] of them, making per-element counts
+    independent. *)
+
+val bernoulli : Rng.t -> float -> bool
+val exponential : Rng.t -> rate:float -> float
+val gaussian : Rng.t -> mu:float -> sigma:float -> float
+
+val geometric : Rng.t -> p:float -> int
+(** Number of failures before the first success (support 0, 1, 2, ...). *)
+
+val poisson : Rng.t -> mean:float -> int
+(** Knuth's method below mean 30, Hörmann's PTRS transformed rejection
+    (O(1) expected) above. *)
+
+val binomial : Rng.t -> n:int -> p:float -> int
+(** Waiting-time method, O(n·min(p, 1-p)) expected. *)
+
+val categorical_from_cdf : Rng.t -> float array -> int
+(** Draw an index given the (nondecreasing, positive-total) cumulative
+    weights; O(log n) by binary search.  For bulk draws prefer
+    {!Distrib.Alias}. *)
+
+val permutation : Rng.t -> int -> int array
+(** Uniform permutation of [0..n-1] (Fisher–Yates); this is the [σ ∈ S_n]
+    of the support-size reduction (Section 4.2). *)
+
+val shuffle_in_place : Rng.t -> 'a array -> unit
+
+val sample_without_replacement : Rng.t -> n:int -> k:int -> int list
+(** [k] distinct elements of [0..n-1] by Floyd's algorithm, O(k) expected. *)
+
+val zipf_weights : n:int -> s:float -> float array
+(** Unnormalized Zipf(s) weights over [n] ranks. *)

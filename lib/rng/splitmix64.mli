@@ -1,0 +1,8 @@
+(** SplitMix64: a tiny, statistically solid 64-bit generator.  Used only to
+    seed {!Xoshiro} state from a single user-provided seed, as recommended by
+    the xoshiro authors. *)
+
+type t
+
+val create : int64 -> t
+val next : t -> int64

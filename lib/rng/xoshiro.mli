@@ -1,0 +1,17 @@
+(** Xoshiro256** — the workhorse generator.  Fast (a handful of 64-bit ops
+    per draw), passes BigCrush, and supports [jump] for carving independent
+    streams out of one seed. *)
+
+type t
+
+val of_seed : int64 -> t
+(** State expanded from a single seed via SplitMix64. *)
+
+val next : t -> int64
+(** Next 64 pseudo-random bits. *)
+
+val copy : t -> t
+(** Independent copy of the current state (the two evolve separately). *)
+
+val jump : t -> unit
+(** Advance by 2^128 steps in O(256) draws; use to derive parallel streams. *)

@@ -1,0 +1,22 @@
+let repetitions_for ~delta =
+  if delta <= 0. || delta >= 1. then
+    invalid_arg "Amplify.repetitions_for: delta outside (0, 1)";
+  (* Chernoff: r independent 2/3-correct trials are majority-correct with
+     failure probability <= exp(-r/18); solve for r, keep it odd. *)
+  let r = int_of_float (ceil (18. *. log (1. /. delta))) in
+  let r = max 1 r in
+  if r mod 2 = 0 then r + 1 else r
+
+let majority_vote ~trials f =
+  if trials <= 0 then invalid_arg "Amplify.majority_vote: trials <= 0";
+  let accepts = ref 0 in
+  for t = 0 to trials - 1 do
+    if f t = Verdict.Accept then incr accepts
+  done;
+  if 2 * !accepts > trials then Verdict.Accept else Verdict.Reject
+
+let median_value ~trials f =
+  if trials <= 0 then invalid_arg "Amplify.median_value: trials <= 0";
+  Numkit.Summary.median (Array.init trials f)
+
+let boosted ~delta f = majority_vote ~trials:(repetitions_for ~delta) f

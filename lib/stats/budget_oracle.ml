@@ -1,0 +1,35 @@
+type t = {
+  inner : Poissonize.oracle;
+  cap : int option;
+  mutable drawn : int;
+}
+
+exception Budget_exceeded of { drawn : int; cap : int }
+
+let wrap ?cap inner = { inner; cap; drawn = 0 }
+let drawn t = t.drawn
+
+let charge t amount =
+  t.drawn <- t.drawn + amount;
+  match t.cap with
+  | Some cap when t.drawn > cap -> raise (Budget_exceeded { drawn = t.drawn; cap })
+  | _ -> ()
+
+let oracle t =
+  {
+    Poissonize.n = t.inner.Poissonize.n;
+    exact =
+      (fun m ->
+        charge t m;
+        t.inner.Poissonize.exact m);
+    poissonized =
+      (fun mean ->
+        let counts = t.inner.Poissonize.poissonized mean in
+        (* Charge what was actually drawn, not the mean. *)
+        charge t (Array.fold_left ( + ) 0 counts);
+        counts);
+    stream =
+      (fun m ->
+        charge t m;
+        t.inner.Poissonize.stream m);
+  }

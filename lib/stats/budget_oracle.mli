@@ -1,0 +1,20 @@
+(** Sample-budget accounting middleware: wraps a {!Poissonize.oracle} and
+    meters every draw, optionally enforcing a hard cap.
+
+    Used by the test suite to certify that each tester's actual consumption
+    stays within its planned budget, and by starvation experiments to cut a
+    tester off mid-flight. *)
+
+type t
+
+exception Budget_exceeded of { drawn : int; cap : int }
+
+val wrap : ?cap:int -> Poissonize.oracle -> t
+(** Meter (and with [cap], limit) an oracle. *)
+
+val oracle : t -> Poissonize.oracle
+(** The metered oracle to hand to a tester.  Poissonized draws are charged
+    at their realized count. *)
+
+val drawn : t -> int
+(** Samples drawn so far through {!oracle}. *)

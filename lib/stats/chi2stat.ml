@@ -1,0 +1,66 @@
+type t = { z : float; per_cell : float array; m : float }
+
+let heavy_cutoff ~eps ~n = eps /. (50. *. float_of_int n)
+
+let compute ?cell_mask ~counts ~m ~dstar ~part ~eps () =
+  let n = Pmf.size dstar in
+  if Array.length counts <> n then
+    invalid_arg "Chi2stat.compute: counts length mismatch";
+  if Partition.domain_size part <> n then
+    invalid_arg "Chi2stat.compute: partition domain mismatch";
+  let kk = Partition.cell_count part in
+  (match cell_mask with
+  | Some mask when Array.length mask <> kk ->
+      invalid_arg "Chi2stat.compute: cell mask length mismatch"
+  | _ -> ());
+  let cutoff = heavy_cutoff ~eps ~n in
+  let ds = Pmf.unsafe_array dstar in
+  let per_cell = Array.make kk 0. in
+  Partition.iteri
+    (fun j cell ->
+      let keep =
+        match cell_mask with None -> true | Some mask -> mask.(j)
+      in
+      if keep then begin
+        let acc = Numkit.Kahan.create () in
+        Interval.iter
+          (fun i ->
+            (* A_eps truncation: elements where D* is tiny contribute huge
+               variance for no signal; the paper drops them. *)
+            if ds.(i) >= cutoff then begin
+              let expected = m *. ds.(i) in
+              let ni = float_of_int counts.(i) in
+              let d = ni -. expected in
+              Numkit.Kahan.add acc (((d *. d) -. ni) /. expected)
+            end)
+          cell;
+        per_cell.(j) <- Numkit.Kahan.total acc
+      end)
+    part;
+  let z = Numkit.Kahan.sum_array per_cell in
+  { z; per_cell; m }
+
+let accept_threshold ~m ~eps = m *. eps *. eps /. 10.
+
+let expectation ?cell_mask ~d ~dstar ~part ~eps ~m () =
+  (* E[Z] = m * sum_{i in A_eps} (D(i) - D*(i))^2 / D*(i): the truncated χ²
+     divergence scaled by m (Prop. 3.3 discussion). *)
+  let n = Pmf.size dstar in
+  let cutoff = heavy_cutoff ~eps ~n in
+  let pd = Pmf.unsafe_array d and ds = Pmf.unsafe_array dstar in
+  let acc = Numkit.Kahan.create () in
+  Partition.iteri
+    (fun j cell ->
+      let keep =
+        match cell_mask with None -> true | Some mask -> mask.(j)
+      in
+      if keep then
+        Interval.iter
+          (fun i ->
+            if ds.(i) >= cutoff then begin
+              let diff = pd.(i) -. ds.(i) in
+              Numkit.Kahan.add acc (diff *. diff /. ds.(i))
+            end)
+          cell)
+    part;
+  m *. Numkit.Kahan.total acc

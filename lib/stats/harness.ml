@@ -1,0 +1,41 @@
+type trial = { rng : Randkit.Rng.t; oracle : Poissonize.oracle }
+
+let run_trials ~rng ~trials ~pmf f =
+  Array.init trials (fun _ ->
+      let child = Randkit.Rng.split rng in
+      let oracle = Poissonize.of_pmf child pmf in
+      f { rng = child; oracle })
+
+let accept_rate ~rng ~trials ~pmf decide =
+  let verdicts = run_trials ~rng ~trials ~pmf decide in
+  let accepts =
+    Array.fold_left
+      (fun acc v -> if v = Verdict.Accept then acc + 1 else acc)
+      0 verdicts
+  in
+  float_of_int accepts /. float_of_int trials
+
+let error_rate ~rng ~trials ~pmf ~in_class decide =
+  let rate = accept_rate ~rng ~trials ~pmf decide in
+  if in_class then 1. -. rate else rate
+
+type complexity_result = {
+  samples : int option;
+  probed : (int * float) list;  (** (m, worst error rate) per probe *)
+}
+
+let min_samples ~rng ~trials ~limit ~start ~yes_pmf ~no_pmf decide =
+  let probed = ref [] in
+  let ok m =
+    let err_yes =
+      error_rate ~rng ~trials ~pmf:yes_pmf ~in_class:true (decide ~m)
+    in
+    let err_no =
+      error_rate ~rng ~trials ~pmf:no_pmf ~in_class:false (decide ~m)
+    in
+    let worst = Float.max err_yes err_no in
+    probed := (m, worst) :: !probed;
+    worst <= 1. /. 3.
+  in
+  let samples = Numkit.Search.doubling_first_true ~start ~limit ok in
+  { samples; probed = List.rev !probed }

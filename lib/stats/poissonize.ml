@@ -1,0 +1,23 @@
+type oracle = {
+  n : int;
+  exact : int -> int array;
+  poissonized : float -> int array;
+  stream : int -> int array;
+}
+
+let of_pmf rng pmf =
+  let alias = Alias.of_pmf pmf in
+  let n = Pmf.size pmf in
+  {
+    n;
+    exact = (fun m -> Alias.draw_counts alias rng m);
+    poissonized =
+      (fun mean ->
+        (* Draw m' ~ Poisson(mean), then m' iid samples: per-element counts
+           are then independent Poisson(mean * D(i)) — the paper's trick. *)
+        let m' = Randkit.Sampler.poisson rng ~mean in
+        Alias.draw_counts alias rng m');
+    stream = (fun m -> Alias.draw_many alias rng m);
+  }
+
+let of_pmf_seeded ~seed pmf = of_pmf (Randkit.Rng.create ~seed) pmf

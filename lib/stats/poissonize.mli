@@ -1,0 +1,19 @@
+(** Sample oracles over an unknown distribution, in both the exact-m and the
+    Poissonized access models.
+
+    The Poissonized oracle draws m' ~ Poisson(mean) and then m' iid samples,
+    which makes the per-element occurrence counts N_i independent
+    Poisson(mean·D(i)) variables (Section 2 of the paper) — the property
+    Proposition 3.3's variance bounds require.  Testers receive an [oracle],
+    never the pmf, so sample accounting is honest by construction. *)
+
+type oracle = {
+  n : int;  (** domain size *)
+  exact : int -> int array;  (** [exact m]: counts of exactly m samples *)
+  poissonized : float -> int array;
+      (** [poissonized mean]: counts of Poisson(mean) samples *)
+  stream : int -> int array;  (** [stream m]: the m samples themselves *)
+}
+
+val of_pmf : Randkit.Rng.t -> Pmf.t -> oracle
+val of_pmf_seeded : seed:int -> Pmf.t -> oracle

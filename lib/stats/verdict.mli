@@ -1,0 +1,10 @@
+(** Tester verdicts. *)
+
+type t = Accept | Reject
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+val majority : t list -> t
+(** Strict-majority accept (ties reject). *)

@@ -1,0 +1,64 @@
+type t = {
+  width : int;
+  depth : int;
+  rows : int array array;
+  seeds : int64 array;
+  mutable total : int;
+}
+
+let create ?(seed = 0x5EED) ~width ~depth () =
+  if width < 1 || depth < 1 then
+    invalid_arg "Count_min.create: width and depth must be positive";
+  let sm = Randkit.Splitmix64.create (Int64.of_int seed) in
+  {
+    width;
+    depth;
+    rows = Array.make_matrix depth width 0;
+    seeds = Array.init depth (fun _ -> Randkit.Splitmix64.next sm);
+    total = 0;
+  }
+
+let for_error ?(seed = 0x5EED) ~eps ~delta () =
+  if eps <= 0. || eps >= 1. then invalid_arg "Count_min.for_error: bad eps";
+  if delta <= 0. || delta >= 1. then
+    invalid_arg "Count_min.for_error: bad delta";
+  let width = int_of_float (ceil (exp 1. /. eps)) in
+  let depth = int_of_float (ceil (log (1. /. delta))) in
+  create ~seed ~width ~depth ()
+
+let hash t row x =
+  (* One multiply-shift per row, salted by the row seed. *)
+  let h =
+    Int64.mul (Int64.logxor (Int64.of_int x) t.seeds.(row)) 0x9E3779B97F4A7C15L
+  in
+  let h = Int64.logxor h (Int64.shift_right_logical h 29) in
+  Int64.to_int (Int64.rem (Int64.logand h Int64.max_int) (Int64.of_int t.width))
+
+let add ?(count = 1) t x =
+  if count < 0 then invalid_arg "Count_min.add: negative count";
+  t.total <- t.total + count;
+  for row = 0 to t.depth - 1 do
+    let j = hash t row x in
+    t.rows.(row).(j) <- t.rows.(row).(j) + count
+  done
+
+let estimate t x =
+  let best = ref max_int in
+  for row = 0 to t.depth - 1 do
+    let v = t.rows.(row).(hash t row x) in
+    if v < !best then best := v
+  done;
+  !best
+
+let total t = t.total
+
+let heavy_hitters t ~threshold ~universe =
+  if threshold <= 0. || threshold > 1. then
+    invalid_arg "Count_min.heavy_hitters: threshold outside (0, 1]";
+  let cut = threshold *. float_of_int t.total in
+  let out = ref [] in
+  for x = universe - 1 downto 0 do
+    let e = estimate t x in
+    if float_of_int e >= cut then out := (x, e) :: !out
+  done;
+  !out

@@ -1,0 +1,25 @@
+(** Count–Min sketch: streaming frequency estimation in sublinear space.
+
+    The streaming companion to ApproxPart's heavy-element detection: where
+    Proposition 3.4 spends samples, a maintenance engine watching the full
+    stream spends width·depth counters and gets every frequency within
+    ε·N overcount with probability 1−δ (never an undercount).  Feeds the
+    end-biased histogram construction. *)
+
+type t
+
+val create : ?seed:int -> width:int -> depth:int -> unit -> t
+
+val for_error : ?seed:int -> eps:float -> delta:float -> unit -> t
+(** Standard sizing: width ⌈e/ε⌉, depth ⌈ln(1/δ)⌉. *)
+
+val add : ?count:int -> t -> int -> unit
+
+val estimate : t -> int -> int
+(** Never below the true count; above by at most ε·N whp. *)
+
+val total : t -> int
+
+val heavy_hitters : t -> threshold:float -> universe:int -> (int * int) list
+(** Elements whose estimate reaches [threshold]·N, with their estimates
+    (supersets of the true heavy hitters), by sweeping the universe. *)

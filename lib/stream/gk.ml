@@ -1,0 +1,93 @@
+(* Greenwald-Khanna ε-approximate quantile summary (SIGMOD'01).
+
+   The summary is a sorted list of tuples (v, g, delta):
+   - g: gap between the minimum rank of this tuple and of its predecessor;
+   - delta: uncertainty of this tuple's rank.
+   Invariant after compression: g + delta <= floor(2 eps n) for interior
+   tuples, which guarantees rank queries within eps*n. *)
+
+type tuple = { v : float; g : int; delta : int }
+
+type t = {
+  eps : float;
+  mutable tuples : tuple list; (* ascending by v *)
+  mutable count : int;
+  mutable since_compress : int;
+}
+
+let create ~eps =
+  if eps <= 0. || eps >= 1. then invalid_arg "Gk.create: eps outside (0, 1)";
+  { eps; tuples = []; count = 0; since_compress = 0 }
+
+let count t = t.count
+
+let capacity_band t = int_of_float (floor (2. *. t.eps *. float_of_int t.count))
+
+let compress t =
+  (* Left-to-right pass absorbing a tuple into its successor whenever the
+     combined uncertainty stays inside the band.  The first tuple (running
+     minimum) is never absorbed, and the last survives structurally. *)
+  let band = capacity_band t in
+  let rec go = function
+    | [] -> []
+    | [ x ] -> [ x ]
+    | cur :: next :: rest ->
+        if cur.g + next.g + next.delta <= band then
+          go ({ next with g = next.g + cur.g } :: rest)
+        else cur :: go (next :: rest)
+  in
+  match t.tuples with
+  | [] -> ()
+  | first :: rest -> t.tuples <- first :: go rest
+
+let insert t x =
+  let band = capacity_band t in
+  let rec place before after =
+    match after with
+    | [] ->
+        (* New maximum: exact rank. *)
+        List.rev_append before [ { v = x; g = 1; delta = 0 } ]
+    | hd :: _ when x < hd.v ->
+        let delta = if before = [] then 0 else max 0 (band - 1) in
+        List.rev_append before ({ v = x; g = 1; delta } :: after)
+    | hd :: tl -> place (hd :: before) tl
+  in
+  t.tuples <- place [] t.tuples;
+  t.count <- t.count + 1;
+  t.since_compress <- t.since_compress + 1;
+  let period = max 1 (int_of_float (1. /. (2. *. t.eps))) in
+  if t.since_compress >= period then begin
+    compress t;
+    t.since_compress <- 0
+  end
+
+let quantile t q =
+  if t.count = 0 then invalid_arg "Gk.quantile: empty summary";
+  if q < 0. || q > 1. then invalid_arg "Gk.quantile: q outside [0, 1]";
+  let target = q *. float_of_int t.count in
+  let bound = target +. (t.eps *. float_of_int t.count) in
+  let rec walk rmin tuples =
+    match tuples with
+    | [] -> invalid_arg "Gk.quantile: empty summary"
+    | [ last ] -> last.v
+    | cur :: (next :: _ as rest) ->
+        let rmin' = rmin + cur.g in
+        (* Return cur if the next tuple's max rank overshoots the bound. *)
+        if float_of_int (rmin' + next.g + next.delta) > bound then cur.v
+        else walk rmin' rest
+  in
+  walk 0 t.tuples
+
+let summary_size t = List.length t.tuples
+
+let rank_bounds t x =
+  let rec walk rmin tuples =
+    match tuples with
+    | [] -> (rmin, rmin)
+    | cur :: rest ->
+        if cur.v > x then (rmin, rmin)
+        else walk (rmin + cur.g) rest
+  in
+  let lo, _ = walk 0 t.tuples in
+  let slack = capacity_band t in
+  (lo, min t.count (lo + slack))

@@ -1,0 +1,27 @@
+(** Greenwald–Khanna ε-approximate quantile summary (SIGMOD 2001).
+
+    This is the streaming substrate behind online equi-depth histogram
+    maintenance — the database setting ([GGI+02, GKS06]) the paper's
+    introduction motivates histogram testing with.  Space is
+    O((1/ε)·log(εn)) tuples; any rank query is answered within ±εn. *)
+
+type t
+
+val create : eps:float -> t
+(** @raise Invalid_argument unless 0 < eps < 1. *)
+
+val insert : t -> float -> unit
+(** Add one observation; amortized compression keeps the summary small. *)
+
+val count : t -> int
+(** Observations inserted so far. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] is a value whose rank is within ±εn of q·n.
+    @raise Invalid_argument when empty or q outside [0, 1]. *)
+
+val summary_size : t -> int
+(** Number of tuples currently stored. *)
+
+val rank_bounds : t -> float -> int * int
+(** Lower and upper bounds on the rank of a value. *)

@@ -1,0 +1,26 @@
+type 'a t = {
+  capacity : int;
+  rng : Randkit.Rng.t;
+  mutable seen : int;
+  items : 'a option array;
+}
+
+let create ~capacity rng =
+  if capacity <= 0 then invalid_arg "Reservoir.create: capacity <= 0";
+  { capacity; rng; seen = 0; items = Array.make capacity None }
+
+let add t x =
+  t.seen <- t.seen + 1;
+  if t.seen <= t.capacity then t.items.(t.seen - 1) <- Some x
+  else begin
+    (* Vitter's algorithm R: keep with probability capacity/seen. *)
+    let j = Randkit.Rng.int t.rng t.seen in
+    if j < t.capacity then t.items.(j) <- Some x
+  end
+
+let seen t = t.seen
+let size t = min t.seen t.capacity
+
+let contents t =
+  Array.to_list t.items
+  |> List.filter_map (fun x -> x)

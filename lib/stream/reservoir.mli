@@ -1,0 +1,16 @@
+(** Reservoir sampling (Vitter's algorithm R): a uniform sample of fixed
+    size from a stream of unknown length — the "random sampling of the
+    data" access model that motivates distribution testing over massive
+    datasets. *)
+
+type 'a t
+
+val create : capacity:int -> Randkit.Rng.t -> 'a t
+val add : 'a t -> 'a -> unit
+val seen : 'a t -> int
+
+val size : 'a t -> int
+(** Current number of retained items (≤ capacity). *)
+
+val contents : 'a t -> 'a list
+(** The retained sample, in storage order. *)

@@ -1,0 +1,22 @@
+(** Online equi-depth histogram maintenance over a stream of domain
+    elements: bucket boundaries come from a Greenwald–Khanna sketch, bucket
+    masses from exact counting.  This is the "maintain a succinct summary
+    while the data flows by" use-case of approximate histogram maintenance
+    ([GMP97, GGI+02]) that motivates asking, downstream, whether few bins
+    are enough — which is precisely what the tester decides. *)
+
+type t
+
+val create : n:int -> buckets:int -> eps:float -> t
+val observe : t -> int -> unit
+val total : t -> int
+
+val current_partition : t -> Partition.t
+(** Bucket boundaries at the current approximate quantiles. *)
+
+val current_histogram : t -> Khist.t
+(** Equi-depth histogram of everything observed so far.
+    @raise Invalid_argument before the first observation. *)
+
+val sketch_size : t -> int
+(** Tuples held by the underlying quantile sketch. *)

@@ -1,0 +1,451 @@
+let rng () = Randkit.Rng.create ~seed:31337
+
+(* --- Poissonize --- *)
+
+let test_exact_counts_sum () =
+  let o = Poissonize.of_pmf (rng ()) (Families.zipf ~n:32 ~s:1.) in
+  let counts = o.Poissonize.exact 5000 in
+  Alcotest.(check int) "sum is m" 5000 (Array.fold_left ( + ) 0 counts);
+  Alcotest.(check int) "domain" 32 o.Poissonize.n
+
+let test_poissonized_total_fluctuates () =
+  let o = Poissonize.of_pmf (rng ()) (Pmf.uniform 16) in
+  let totals =
+    Array.init 200 (fun _ ->
+        float_of_int (Array.fold_left ( + ) 0 (o.Poissonize.poissonized 1000.)))
+  in
+  let s = Numkit.Summary.of_array totals in
+  Alcotest.(check bool) "mean near 1000" true
+    (Float.abs (Numkit.Summary.mean s -. 1000.) < 15.);
+  (* Poisson total: variance = mean (multinomial would have variance 0). *)
+  Alcotest.(check bool) "variance near 1000" true
+    (Numkit.Summary.variance s > 500. && Numkit.Summary.variance s < 2000.)
+
+let test_poissonized_per_bin_moments () =
+  let p = Pmf.create [| 0.75; 0.25 |] in
+  let o = Poissonize.of_pmf (rng ()) p in
+  let draws = Array.init 2000 (fun _ -> o.Poissonize.poissonized 100.) in
+  let bin0 = Array.map (fun c -> float_of_int c.(0)) draws in
+  let s = Numkit.Summary.of_array bin0 in
+  Alcotest.(check bool) "mean m*p" true
+    (Float.abs (Numkit.Summary.mean s -. 75.) < 1.5);
+  Alcotest.(check bool) "poisson variance" true
+    (Float.abs (Numkit.Summary.variance s -. 75.) < 12.)
+
+let test_stream () =
+  let o = Poissonize.of_pmf (rng ()) (Pmf.uniform 8) in
+  let xs = o.Poissonize.stream 100 in
+  Alcotest.(check int) "length" 100 (Array.length xs);
+  Array.iter
+    (fun x -> Alcotest.(check bool) "in domain" true (x >= 0 && x < 8))
+    xs
+
+(* --- Chi2stat --- *)
+
+let test_chi2_zero_counts_match () =
+  (* The expectation formula must agree with the direct truncated
+     chi-square computation for a known D. *)
+  let n = 64 in
+  let d = Families.zipf ~n ~s:1. in
+  let dstar = Pmf.uniform n in
+  let part = Partition.trivial ~n in
+  let m = 1000. in
+  let expected = Chi2stat.expectation ~d ~dstar ~part ~eps:0.5 ~m () in
+  (* Direct truncated chi-square computation. *)
+  let cutoff = Chi2stat.heavy_cutoff ~eps:0.5 ~n in
+  let direct =
+    m
+    *. Numkit.Kahan.sum_f n (fun i ->
+           if Pmf.get dstar i >= cutoff then
+             let diff = Pmf.get d i -. Pmf.get dstar i in
+             diff *. diff /. Pmf.get dstar i
+           else 0.)
+  in
+  Alcotest.(check (float 1e-9)) "closed form" direct expected
+
+let test_chi2_statistic_unbiased () =
+  let n = 32 in
+  let d = Families.zipf ~n ~s:0.8 in
+  let dstar = Pmf.uniform n in
+  let part = Partition.equal_width ~n ~cells:4 in
+  let o = Poissonize.of_pmf (rng ()) d in
+  let m = 20000. in
+  let trials = 300 in
+  let zs =
+    Array.init trials (fun _ ->
+        let counts = o.Poissonize.poissonized m in
+        (Chi2stat.compute ~counts ~m ~dstar ~part ~eps:0.25 ()).Chi2stat.z)
+  in
+  let mean = Numkit.Summary.mean_of zs in
+  let expected = Chi2stat.expectation ~d ~dstar ~part ~eps:0.25 ~m () in
+  Alcotest.(check bool)
+    (Printf.sprintf "empirical mean %.1f vs expectation %.1f" mean expected)
+    true
+    (Float.abs (mean -. expected) < 0.15 *. expected)
+
+let test_chi2_per_cell_sums () =
+  let n = 32 in
+  let o = Poissonize.of_pmf (rng ()) (Families.zipf ~n ~s:1.) in
+  let part = Partition.equal_width ~n ~cells:5 in
+  let counts = o.Poissonize.poissonized 5000. in
+  let stat =
+    Chi2stat.compute ~counts ~m:5000. ~dstar:(Pmf.uniform n) ~part ~eps:0.3 ()
+  in
+  Alcotest.(check (float 1e-9)) "per-cell sums to z" stat.Chi2stat.z
+    (Numkit.Kahan.sum_array stat.Chi2stat.per_cell)
+
+let test_chi2_cell_mask () =
+  let n = 16 in
+  let o = Poissonize.of_pmf (rng ()) (Pmf.uniform n) in
+  let part = Partition.equal_width ~n ~cells:4 in
+  let counts = o.Poissonize.poissonized 2000. in
+  let mask = [| true; false; true; false |] in
+  let stat =
+    Chi2stat.compute ~cell_mask:mask ~counts ~m:2000. ~dstar:(Pmf.uniform n)
+      ~part ~eps:0.3 ()
+  in
+  Alcotest.(check (float 0.)) "masked cell is zero" 0. stat.Chi2stat.per_cell.(1);
+  Alcotest.(check (float 0.)) "masked cell is zero (3)" 0.
+    stat.Chi2stat.per_cell.(3)
+
+let test_chi2_truncation_excludes_tiny () =
+  (* D* puts negligible mass on element 0: it must be excluded from A_eps,
+     so even a huge observed count there contributes nothing. *)
+  let n = 4 in
+  let dstar = Pmf.create [| 1e-9; 0.4; 0.3; 0.3 -. 1e-9 |] in
+  let part = Partition.trivial ~n in
+  let counts = [| 1000; 0; 0; 0 |] in
+  let stat = Chi2stat.compute ~counts ~m:1000. ~dstar ~part ~eps:0.3 () in
+  (* Element 0 excluded; elements 1-3 contribute (0 - m d)^2 - 0 / (m d). *)
+  let manual =
+    Numkit.Kahan.sum_f 3 (fun j ->
+        let d = Pmf.get dstar (j + 1) in
+        1000. *. d)
+  in
+  Alcotest.(check (float 1e-6)) "only heavy elements counted" manual
+    stat.Chi2stat.z
+
+let test_accept_threshold () =
+  Alcotest.(check (float 1e-12)) "m eps^2 / 10" 10.
+    (Chi2stat.accept_threshold ~m:1000. ~eps:0.31622776601683794)
+
+(* --- Verdict / Amplify --- *)
+
+let test_verdict_majority () =
+  Alcotest.(check bool) "accepts" true
+    (Verdict.majority [ Verdict.Accept; Verdict.Accept; Verdict.Reject ]
+    = Verdict.Accept);
+  Alcotest.(check bool) "tie rejects" true
+    (Verdict.majority [ Verdict.Accept; Verdict.Reject ] = Verdict.Reject);
+  Alcotest.(check string) "to_string" "accept" (Verdict.to_string Verdict.Accept)
+
+let test_repetitions_for () =
+  let r = Amplify.repetitions_for ~delta:0.01 in
+  Alcotest.(check bool) "odd" true (r mod 2 = 1);
+  Alcotest.(check bool) "grows with confidence" true
+    (Amplify.repetitions_for ~delta:0.001 > r);
+  Alcotest.(check bool) "invalid delta" true
+    (try
+       ignore (Amplify.repetitions_for ~delta:1.5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_majority_vote () =
+  let verdicts = [| Verdict.Accept; Verdict.Reject; Verdict.Accept |] in
+  Alcotest.(check bool) "majority accept" true
+    (Amplify.majority_vote ~trials:3 (fun i -> verdicts.(i)) = Verdict.Accept)
+
+let test_boosted_amplifies () =
+  (* A 70%-correct coin should be nearly always correct after boosting. *)
+  let r = rng () in
+  let wrong = ref 0 in
+  let runs = 200 in
+  for _ = 1 to runs do
+    let v =
+      Amplify.boosted ~delta:0.01 (fun _ ->
+          if Randkit.Rng.float r 1. < 0.7 then Verdict.Accept else Verdict.Reject)
+    in
+    if v <> Verdict.Accept then incr wrong
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "wrong %d/%d" !wrong runs)
+    true
+    (float_of_int !wrong /. float_of_int runs < 0.05)
+
+let test_median_value () =
+  Alcotest.(check (float 1e-12)) "median of trials" 2.
+    (Amplify.median_value ~trials:3 (fun i -> float_of_int (3 - i)))
+
+(* --- Harness --- *)
+
+let test_accept_rate_deterministic () =
+  let r = rng () in
+  let rate =
+    Harness.accept_rate ~rng:r ~trials:50 ~pmf:(Pmf.uniform 8) (fun _ ->
+        Verdict.Accept)
+  in
+  Alcotest.(check (float 0.)) "always accepts" 1. rate
+
+let test_error_rate_orientation () =
+  let r = rng () in
+  let err_in =
+    Harness.error_rate ~rng:r ~trials:10 ~pmf:(Pmf.uniform 8) ~in_class:true
+      (fun _ -> Verdict.Reject)
+  in
+  let err_out =
+    Harness.error_rate ~rng:r ~trials:10 ~pmf:(Pmf.uniform 8) ~in_class:false
+      (fun _ -> Verdict.Reject)
+  in
+  Alcotest.(check (float 0.)) "in-class rejection is error" 1. err_in;
+  Alcotest.(check (float 0.)) "out-of-class rejection is success" 0. err_out
+
+let test_harness_trials_draw_samples () =
+  let r = rng () in
+  let sizes = ref [] in
+  let _ =
+    Harness.run_trials ~rng:r ~trials:5 ~pmf:(Pmf.uniform 8) (fun trial ->
+        let counts = trial.Harness.oracle.Poissonize.exact 100 in
+        sizes := Array.fold_left ( + ) 0 counts :: !sizes)
+  in
+  Alcotest.(check (list int)) "each trial sampled" [ 100; 100; 100; 100; 100 ]
+    !sizes
+
+let test_min_samples_threshold () =
+  (* A tester that accepts everything once m >= 137 can never be sound:
+     the search must exhaust the limit and report failure. *)
+  let r = rng () in
+  let result =
+    Harness.min_samples ~rng:r ~trials:6 ~limit:10_000 ~start:1
+      ~yes_pmf:(Pmf.uniform 4) ~no_pmf:(Pmf.uniform 4)
+      (fun ~m _trial -> if m >= 137 then Verdict.Accept else Verdict.Reject)
+  in
+  Alcotest.(check bool) "no budget satisfies both" true
+    (result.Harness.samples = None)
+
+let test_min_samples_finds_budget () =
+  let r = rng () in
+  let yes = Pmf.uniform 4 and no = Pmf.point_mass ~n:4 0 in
+  let decide ~m trial =
+    (* Accept iff the empirical max frequency is below 0.5 — reliable for
+       uniform vs point mass once m is moderately large. *)
+    let counts = trial.Harness.oracle.Poissonize.exact m in
+    let mx = Array.fold_left max 0 counts in
+    if float_of_int mx /. float_of_int m < 0.5 then Verdict.Accept
+    else Verdict.Reject
+  in
+  let result =
+    Harness.min_samples ~rng:r ~trials:9 ~limit:4096 ~start:1 ~yes_pmf:yes
+      ~no_pmf:no decide
+  in
+  match result.Harness.samples with
+  | None -> Alcotest.fail "expected a finite budget"
+  | Some m -> Alcotest.(check bool) "small budget suffices" true (m <= 256)
+
+
+(* --- Budget_oracle --- *)
+
+let test_budget_metering () =
+  let inner = Poissonize.of_pmf (rng ()) (Pmf.uniform 8) in
+  let meter = Budget_oracle.wrap inner in
+  let o = Budget_oracle.oracle meter in
+  ignore (o.Poissonize.exact 100);
+  ignore (o.Poissonize.stream 50);
+  Alcotest.(check int) "exact+stream metered" 150 (Budget_oracle.drawn meter);
+  let counts = o.Poissonize.poissonized 200. in
+  let realized = Array.fold_left ( + ) 0 counts in
+  Alcotest.(check int) "poissonized charged at realized count"
+    (150 + realized) (Budget_oracle.drawn meter)
+
+let test_budget_cap () =
+  let inner = Poissonize.of_pmf (rng ()) (Pmf.uniform 8) in
+  let meter = Budget_oracle.wrap ~cap:100 inner in
+  let o = Budget_oracle.oracle meter in
+  ignore (o.Poissonize.exact 100);
+  Alcotest.(check bool) "cap enforced" true
+    (try
+       ignore (o.Poissonize.exact 1);
+       false
+     with Budget_oracle.Budget_exceeded _ -> true)
+
+let test_tester_respects_plan () =
+  (* Algorithm 1's realized consumption must stay within its planned
+     worst-case budget (with slack for Poisson fluctuation). *)
+  let n = 512 and k = 2 and eps = 0.3 in
+  let plan = Histotest.Hist_tester.plan ~n ~k ~eps () in
+  let inner = Poissonize.of_pmf (rng ()) (Families.staircase ~n ~k ~rng:(rng ())) in
+  let meter = Budget_oracle.wrap inner in
+  let report = Histotest.Hist_tester.run (Budget_oracle.oracle meter) ~k ~eps in
+  Alcotest.(check bool) "reported samples match meter" true
+    (abs (report.Histotest.Hist_tester.samples_used - Budget_oracle.drawn meter)
+     < plan / 10);
+  Alcotest.(check bool)
+    (Printf.sprintf "drawn %d <= plan %d (+10%%)" (Budget_oracle.drawn meter) plan)
+    true
+    (Budget_oracle.drawn meter <= plan + (plan / 10))
+
+(* --- Fingerprint --- *)
+
+let test_fingerprint_basic () =
+  let f = Fingerprint.of_counts [| 3; 1; 0; 1; 2 |] in
+  Alcotest.(check int) "samples" 7 (Fingerprint.samples f);
+  Alcotest.(check int) "distinct" 4 (Fingerprint.distinct f);
+  Alcotest.(check int) "singletons" 2 (Fingerprint.singletons f);
+  Alcotest.(check int) "prevalence 2" 1 (Fingerprint.prevalence f 2);
+  Alcotest.(check int) "collisions" (3 + 1) (Fingerprint.collisions f)
+
+let test_fingerprint_l2 () =
+  (* Empirical ||D||_2^2 estimate on a known distribution. *)
+  let p = Pmf.create [| 0.5; 0.25; 0.25 |] in
+  let truth = 0.25 +. 0.0625 +. 0.0625 in
+  let o = Poissonize.of_pmf (rng ()) p in
+  let est =
+    Numkit.Summary.mean_of
+      (Array.init 50 (fun _ ->
+           Fingerprint.l2_norm_sq_estimate
+             (Fingerprint.of_counts (o.Poissonize.exact 2000))))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %.4f vs %.4f" est truth)
+    true
+    (Float.abs (est -. truth) < 0.01)
+
+let test_good_turing () =
+  (* All-singleton sample: everything unseen is plausible. *)
+  let f = Fingerprint.of_counts [| 1; 1; 1; 0 |] in
+  Alcotest.(check (float 1e-12)) "missing mass" 1.
+    (Fingerprint.good_turing_missing_mass f);
+  (* Heavily repeated sample: little unseen. *)
+  let f2 = Fingerprint.of_counts [| 100; 100 |] in
+  Alcotest.(check (float 1e-12)) "no singletons" 0.
+    (Fingerprint.good_turing_missing_mass f2)
+
+let test_chao1 () =
+  let f = Fingerprint.of_counts [| 5; 4; 3; 1; 1; 2 |] in
+  (* distinct 6, F1 = 2, F2 = 1 -> 6 + 4/2 = 8. *)
+  Alcotest.(check (float 1e-9)) "chao1" 8. (Fingerprint.chao1_support_estimate f)
+
+let test_entropy () =
+  Alcotest.(check (float 1e-9)) "uniform over 4" (log 4.)
+    (Fingerprint.entropy_plugin [| 10; 10; 10; 10 |]);
+  Alcotest.(check (float 1e-9)) "point mass" 0.
+    (Fingerprint.entropy_plugin [| 42 |]);
+  Alcotest.(check bool) "miller-madow adds bias term" true
+    (Fingerprint.entropy_miller_madow [| 3; 2; 1 |]
+     > Fingerprint.entropy_plugin [| 3; 2; 1 |])
+
+
+(* --- Gridding (Section 2 remark) --- *)
+
+let test_gridding_cells () =
+  let g = Gridding.make ~lo:0. ~hi:10. ~cells:5 in
+  Alcotest.(check int) "cells" 5 (Gridding.cells g);
+  Alcotest.(check int) "interior" 2 (Gridding.cell_of g 4.2);
+  Alcotest.(check int) "clamp low" 0 (Gridding.cell_of g (-3.));
+  Alcotest.(check int) "clamp high" 4 (Gridding.cell_of g 11.);
+  Alcotest.(check int) "left edge" 0 (Gridding.cell_of g 0.);
+  let a, b = Gridding.cell_bounds g 1 in
+  Alcotest.(check (float 1e-12)) "bound lo" 2. a;
+  Alcotest.(check (float 1e-12)) "bound hi" 4. b
+
+let test_gridding_invalid () =
+  Alcotest.(check bool) "lo >= hi" true
+    (try
+       ignore (Gridding.make ~lo:1. ~hi:1. ~cells:4);
+       false
+     with Invalid_argument _ -> true);
+  let g = Gridding.make ~lo:0. ~hi:1. ~cells:4 in
+  Alcotest.(check bool) "nan" true
+    (try
+       ignore (Gridding.cell_of g nan);
+       false
+     with Invalid_argument _ -> true)
+
+let test_gridding_density () =
+  (* A flat density grids to the uniform pmf. *)
+  let g = Gridding.make ~lo:0. ~hi:1. ~cells:16 in
+  let p = Gridding.pmf_of_density g (fun _ -> 1.) in
+  Alcotest.(check bool) "uniform" true (Pmf.equal p (Pmf.uniform 16));
+  (* A density supported on the left half puts no mass on the right. *)
+  let q = Gridding.pmf_of_density g (fun x -> if x < 0.5 then 2. else 0.) in
+  Alcotest.(check (float 1e-9)) "right half empty" 0.
+    (Pmf.mass_on q (Interval.make ~lo:8 ~hi:16))
+
+let test_gridding_oracle_matches_density () =
+  (* Sampling a continuous uniform through the grid produces counts whose
+     empirical distribution approaches the gridded density. *)
+  let g = Gridding.make ~lo:0. ~hi:2. ~cells:32 in
+  let o =
+    Gridding.oracle_of_sampler g (rng ()) (fun r -> Randkit.Rng.float r 2.)
+  in
+  let counts = o.Poissonize.exact 100_000 in
+  let emp = Empirical.of_counts counts in
+  Alcotest.(check bool) "close to uniform" true
+    (Distance.tv emp (Pmf.uniform 32) < 0.02);
+  Alcotest.(check int) "stream length" 50 (Array.length (o.Poissonize.stream 50))
+
+let () =
+  Alcotest.run "statkit"
+    [
+      ( "poissonize",
+        [
+          Alcotest.test_case "exact counts" `Quick test_exact_counts_sum;
+          Alcotest.test_case "poissonized totals" `Quick
+            test_poissonized_total_fluctuates;
+          Alcotest.test_case "per-bin moments" `Quick
+            test_poissonized_per_bin_moments;
+          Alcotest.test_case "stream" `Quick test_stream;
+        ] );
+      ( "chi2stat",
+        [
+          Alcotest.test_case "expectation closed form" `Quick
+            test_chi2_zero_counts_match;
+          Alcotest.test_case "unbiased" `Quick test_chi2_statistic_unbiased;
+          Alcotest.test_case "per-cell sums" `Quick test_chi2_per_cell_sums;
+          Alcotest.test_case "cell mask" `Quick test_chi2_cell_mask;
+          Alcotest.test_case "A_eps truncation" `Quick
+            test_chi2_truncation_excludes_tiny;
+          Alcotest.test_case "accept threshold" `Quick test_accept_threshold;
+        ] );
+      ( "amplify",
+        [
+          Alcotest.test_case "verdict majority" `Quick test_verdict_majority;
+          Alcotest.test_case "repetitions_for" `Quick test_repetitions_for;
+          Alcotest.test_case "majority_vote" `Quick test_majority_vote;
+          Alcotest.test_case "boosted" `Quick test_boosted_amplifies;
+          Alcotest.test_case "median_value" `Quick test_median_value;
+        ] );
+      ( "budget_oracle",
+        [
+          Alcotest.test_case "metering" `Quick test_budget_metering;
+          Alcotest.test_case "cap" `Quick test_budget_cap;
+          Alcotest.test_case "tester respects plan" `Slow
+            test_tester_respects_plan;
+        ] );
+      ( "fingerprint",
+        [
+          Alcotest.test_case "basic" `Quick test_fingerprint_basic;
+          Alcotest.test_case "l2 estimate" `Quick test_fingerprint_l2;
+          Alcotest.test_case "good-turing" `Quick test_good_turing;
+          Alcotest.test_case "chao1" `Quick test_chao1;
+          Alcotest.test_case "entropy" `Quick test_entropy;
+        ] );
+      ( "gridding",
+        [
+          Alcotest.test_case "cells" `Quick test_gridding_cells;
+          Alcotest.test_case "invalid" `Quick test_gridding_invalid;
+          Alcotest.test_case "density" `Quick test_gridding_density;
+          Alcotest.test_case "oracle" `Quick test_gridding_oracle_matches_density;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "accept rate" `Quick test_accept_rate_deterministic;
+          Alcotest.test_case "error orientation" `Quick
+            test_error_rate_orientation;
+          Alcotest.test_case "trials draw samples" `Quick
+            test_harness_trials_draw_samples;
+          Alcotest.test_case "min_samples impossible" `Quick
+            test_min_samples_threshold;
+          Alcotest.test_case "min_samples finds budget" `Quick
+            test_min_samples_finds_budget;
+        ] );
+    ]

@@ -1,0 +1,294 @@
+let rng () = Randkit.Rng.create ~seed:2024
+
+(* --- Gk --- *)
+
+let rank_range sorted x =
+  (* With duplicates, any rank between #{< x} and #{<= x} is legitimate
+     for x. *)
+  let n = Array.length sorted in
+  let count pred =
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if pred sorted.(mid) then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  (count (fun v -> v < x), count (fun v -> v <= x))
+
+let check_gk_on_stream name stream eps =
+  let g = Gk.create ~eps in
+  Array.iter (Gk.insert g) stream;
+  let sorted = Array.copy stream in
+  Array.sort compare sorted;
+  let n = Array.length stream in
+  Alcotest.(check int) (name ^ " count") n (Gk.count g);
+  List.iter
+    (fun q ->
+      let v = Gk.quantile g q in
+      let r_lo, r_hi = rank_range sorted v in
+      let target = q *. float_of_int n in
+      let slack = (2. *. eps *. float_of_int n) +. 1. in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s q=%.2f rank [%d, %d] vs %.0f" name q r_lo r_hi
+           target)
+        true
+        (float_of_int r_lo <= target +. slack
+        && float_of_int r_hi >= target -. slack))
+    [ 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99 ]
+
+let test_gk_random_stream () =
+  let r = rng () in
+  let stream = Array.init 20_000 (fun _ -> Randkit.Rng.float r 1000.) in
+  check_gk_on_stream "random" stream 0.01
+
+let test_gk_sorted_stream () =
+  let stream = Array.init 10_000 float_of_int in
+  check_gk_on_stream "sorted" stream 0.02
+
+let test_gk_reverse_sorted () =
+  let stream = Array.init 10_000 (fun i -> float_of_int (10_000 - i)) in
+  check_gk_on_stream "reverse" stream 0.02
+
+let test_gk_duplicates () =
+  let r = rng () in
+  let stream = Array.init 10_000 (fun _ -> float_of_int (Randkit.Rng.int r 5)) in
+  check_gk_on_stream "duplicates" stream 0.02
+
+let test_gk_space () =
+  let r = rng () in
+  let g = Gk.create ~eps:0.01 in
+  for _ = 1 to 50_000 do
+    Gk.insert g (Randkit.Rng.float r 1.)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "summary size %d" (Gk.summary_size g))
+    true
+    (Gk.summary_size g < 2_000)
+
+let test_gk_empty_and_invalid () =
+  let g = Gk.create ~eps:0.1 in
+  Alcotest.(check bool) "empty raises" true
+    (try
+       ignore (Gk.quantile g 0.5);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad eps" true
+    (try
+       ignore (Gk.create ~eps:0.);
+       false
+     with Invalid_argument _ -> true)
+
+let test_gk_rank_bounds () =
+  let g = Gk.create ~eps:0.05 in
+  for i = 1 to 1000 do
+    Gk.insert g (float_of_int i)
+  done;
+  let lo, hi = Gk.rank_bounds g 500. in
+  Alcotest.(check bool)
+    (Printf.sprintf "bounds [%d, %d] around 500" lo hi)
+    true
+    (lo <= 500 + 100 && hi >= 500 - 100 && lo <= hi)
+
+(* --- Reservoir --- *)
+
+let test_reservoir_fills () =
+  let res = Reservoir.create ~capacity:10 (rng ()) in
+  for i = 1 to 5 do
+    Reservoir.add res i
+  done;
+  Alcotest.(check int) "partial" 5 (Reservoir.size res);
+  Alcotest.(check (list int)) "contents" [ 1; 2; 3; 4; 5 ]
+    (List.sort compare (Reservoir.contents res));
+  for i = 6 to 100 do
+    Reservoir.add res i
+  done;
+  Alcotest.(check int) "capped" 10 (Reservoir.size res);
+  Alcotest.(check int) "seen" 100 (Reservoir.seen res)
+
+let test_reservoir_uniform () =
+  (* Element 1 should survive with probability k/n. *)
+  let r = rng () in
+  let n = 50 and k = 5 in
+  let trials = 20_000 in
+  let survived = ref 0 in
+  for _ = 1 to trials do
+    let res = Reservoir.create ~capacity:k r in
+    for i = 1 to n do
+      Reservoir.add res i
+    done;
+    if List.mem 1 (Reservoir.contents res) then incr survived
+  done;
+  let f = float_of_int !survived /. float_of_int trials in
+  let expect = float_of_int k /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "survival %.3f vs %.3f" f expect)
+    true
+    (Float.abs (f -. expect) < 0.01)
+
+(* --- Stream_hist --- *)
+
+let test_stream_hist_basic () =
+  let r = rng () in
+  let n = 256 in
+  let sh = Stream_hist.create ~n ~buckets:8 ~eps:0.01 in
+  let alias = Alias.of_pmf (Families.zipf ~n ~s:1.) in
+  for _ = 1 to 50_000 do
+    Stream_hist.observe sh (Alias.draw alias r)
+  done;
+  Alcotest.(check int) "total" 50_000 (Stream_hist.total sh);
+  let h = Stream_hist.current_histogram sh in
+  Alcotest.(check (float 1e-6)) "mass 1" 1. (Khist.total_mass h);
+  Alcotest.(check bool) "at most 8 buckets" true (Khist.pieces h <= 8)
+
+let test_stream_hist_equi_depth () =
+  (* On a uniform stream the buckets should hold roughly equal mass. *)
+  let r = rng () in
+  let n = 1024 in
+  let sh = Stream_hist.create ~n ~buckets:4 ~eps:0.005 in
+  for _ = 1 to 100_000 do
+    Stream_hist.observe sh (Randkit.Rng.int r n)
+  done;
+  let h = Stream_hist.current_histogram sh in
+  let part = Khist.partition h in
+  Partition.iteri
+    (fun j cell ->
+      let mass =
+        Khist.level h j *. float_of_int (Interval.length cell)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d mass %.3f" j mass)
+        true
+        (Float.abs (mass -. 0.25) < 0.05))
+    part
+
+let test_stream_hist_empty () =
+  let sh = Stream_hist.create ~n:16 ~buckets:4 ~eps:0.1 in
+  Alcotest.(check bool) "no data raises" true
+    (try
+       ignore (Stream_hist.current_histogram sh);
+       false
+     with Invalid_argument _ -> true)
+
+let test_stream_hist_sketch_small () =
+  let r = rng () in
+  let sh = Stream_hist.create ~n:4096 ~buckets:16 ~eps:0.01 in
+  for _ = 1 to 30_000 do
+    Stream_hist.observe sh (Randkit.Rng.int r 4096)
+  done;
+  Alcotest.(check bool) "sketch stays small" true
+    (Stream_hist.sketch_size sh < 2_000)
+
+let test_stream_hist_tracks_distribution () =
+  (* The streamed equi-depth histogram should be close to the offline
+     equi-depth histogram of the true distribution. *)
+  let r = rng () in
+  let n = 512 in
+  let p = Families.bimodal ~n in
+  let alias = Alias.of_pmf p in
+  let sh = Stream_hist.create ~n ~buckets:16 ~eps:0.005 in
+  for _ = 1 to 200_000 do
+    Stream_hist.observe sh (Alias.draw alias r)
+  done;
+  let streamed = Khist.to_pmf (Stream_hist.current_histogram sh) in
+  let offline = Khist.to_pmf (Construct.equi_depth p ~k:16) in
+  Alcotest.(check bool)
+    (Printf.sprintf "tv %.3f" (Distance.tv streamed offline))
+    true
+    (Distance.tv streamed offline < 0.12)
+
+
+(* --- Count_min --- *)
+
+let test_cm_never_undercounts () =
+  let r = rng () in
+  let cm = Count_min.create ~width:64 ~depth:4 () in
+  let truth = Hashtbl.create 32 in
+  for _ = 1 to 5000 do
+    let x = Randkit.Rng.int r 128 in
+    Count_min.add cm x;
+    Hashtbl.replace truth x (1 + Option.value ~default:0 (Hashtbl.find_opt truth x))
+  done;
+  Hashtbl.iter
+    (fun x c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "element %d" x)
+        true
+        (Count_min.estimate cm x >= c))
+    truth;
+  Alcotest.(check int) "total" 5000 (Count_min.total cm)
+
+let test_cm_overcount_bounded () =
+  let r = rng () in
+  let eps = 0.02 in
+  let cm = Count_min.for_error ~eps ~delta:0.01 () in
+  let truth = Hashtbl.create 64 in
+  let stream = 20_000 in
+  for _ = 1 to stream do
+    let x = Randkit.Rng.int r 1024 in
+    Count_min.add cm x;
+    Hashtbl.replace truth x (1 + Option.value ~default:0 (Hashtbl.find_opt truth x))
+  done;
+  let bad = ref 0 in
+  Hashtbl.iter
+    (fun x c ->
+      if Count_min.estimate cm x - c > int_of_float (eps *. float_of_int stream)
+      then incr bad)
+    truth;
+  Alcotest.(check bool)
+    (Printf.sprintf "%d elements overcounted beyond eps*N" !bad)
+    true (!bad <= 10)
+
+let test_cm_heavy_hitters () =
+  let r = rng () in
+  let cm = Count_min.create ~width:256 ~depth:5 () in
+  (* Element 7 carries ~30% of a noisy stream. *)
+  for _ = 1 to 10_000 do
+    let x = if Randkit.Rng.float r 1. < 0.3 then 7 else Randkit.Rng.int r 512 in
+    Count_min.add cm x
+  done;
+  let hh = Count_min.heavy_hitters cm ~threshold:0.2 ~universe:512 in
+  Alcotest.(check bool) "7 detected" true (List.mem_assoc 7 hh);
+  Alcotest.(check bool) "few candidates" true (List.length hh <= 3)
+
+let test_cm_counted_adds () =
+  let cm = Count_min.create ~width:32 ~depth:3 () in
+  Count_min.add ~count:41 cm 5;
+  Count_min.add cm 5;
+  Alcotest.(check bool) "bulk add" true (Count_min.estimate cm 5 >= 42)
+
+let () =
+  Alcotest.run "streamkit"
+    [
+      ( "gk",
+        [
+          Alcotest.test_case "random stream" `Quick test_gk_random_stream;
+          Alcotest.test_case "sorted stream" `Quick test_gk_sorted_stream;
+          Alcotest.test_case "reverse sorted" `Quick test_gk_reverse_sorted;
+          Alcotest.test_case "duplicates" `Quick test_gk_duplicates;
+          Alcotest.test_case "space" `Quick test_gk_space;
+          Alcotest.test_case "empty/invalid" `Quick test_gk_empty_and_invalid;
+          Alcotest.test_case "rank bounds" `Quick test_gk_rank_bounds;
+        ] );
+      ( "reservoir",
+        [
+          Alcotest.test_case "fills" `Quick test_reservoir_fills;
+          Alcotest.test_case "uniform" `Quick test_reservoir_uniform;
+        ] );
+      ( "count_min",
+        [
+          Alcotest.test_case "never undercounts" `Quick test_cm_never_undercounts;
+          Alcotest.test_case "overcount bounded" `Quick test_cm_overcount_bounded;
+          Alcotest.test_case "heavy hitters" `Quick test_cm_heavy_hitters;
+          Alcotest.test_case "counted adds" `Quick test_cm_counted_adds;
+        ] );
+      ( "stream_hist",
+        [
+          Alcotest.test_case "basic" `Quick test_stream_hist_basic;
+          Alcotest.test_case "equi-depth" `Quick test_stream_hist_equi_depth;
+          Alcotest.test_case "empty" `Quick test_stream_hist_empty;
+          Alcotest.test_case "sketch small" `Quick test_stream_hist_sketch_small;
+          Alcotest.test_case "tracks distribution" `Quick
+            test_stream_hist_tracks_distribution;
+        ] );
+    ]
