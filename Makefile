@@ -1,0 +1,23 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench-smoke bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# One quick experiment per family (E1 accuracy sweep, E10 ablation, E17
+# parallel engine): CI-style verification that harness changes did not
+# regress behaviour, without a full sweep.
+bench-smoke:
+	dune build @bench-smoke
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

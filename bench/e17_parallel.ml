@@ -1,0 +1,135 @@
+(* E17 — harness engineering, not a paper claim: trial throughput of the
+   parkit-powered experiment loop.
+
+   Two measurements at n = 2^16:
+
+   1. alias sharing — the sequential win from building the O(n) Vose
+      table once per PMF (Poissonize.of_alias) instead of once per trial
+      (Poissonize.of_pmf inside the loop).  Measured on a probe-style
+      workload (a few hundred draws per trial, the regime of
+      min_samples' early probes) where the per-trial rebuild used to
+      dominate; reported even on one core.
+   2. trial throughput (trials/sec) of an E1-style Algorithm 1 workload
+      at jobs in {1, 2, 4}, each job count checked to produce the same
+      accept count as jobs = 1 (the pre-split-then-dispatch determinism
+      contract).
+
+   One machine-readable line per run is appended to BENCH_parallel.json
+   so the perf trajectory accumulates across commits. *)
+
+let n = 65536
+let k = 4
+let eps = 0.25
+let bench_file = "BENCH_parallel.json"
+
+let accepts_of verdicts =
+  Array.fold_left
+    (fun acc v -> if v = Verdict.Accept then acc + 1 else acc)
+    0 verdicts
+
+let run (mode : Exp_common.mode) =
+  Exp_common.section ~id:"E17 (parallel trial engine)"
+    ~claim:
+      "Shared alias tables remove the per-trial O(n) setup, and parkit \
+       scales trial throughput across domains with bit-identical results.";
+  let pmf = Exp_common.yes_instance ~n ~k ~seed:mode.Exp_common.seed in
+
+  (* 1. Alias sharing, sequentially, on a light probe workload: accept
+     iff a handful of samples lands an even count on element 0.  The
+     rebuild arm reproduces the old harness inner loop: split, build the
+     O(n) table, draw. *)
+  let probe_trials = if mode.Exp_common.quick then 50 else 400 in
+  let probe_m = 512 in
+  let probe oracle =
+    let counts = oracle.Poissonize.exact probe_m in
+    if counts.(0) mod 2 = 0 then Verdict.Accept else Verdict.Reject
+  in
+  let rebuild_arm () =
+    let rng = Randkit.Rng.create ~seed:mode.Exp_common.seed in
+    let accepts = ref 0 in
+    for _ = 1 to probe_trials do
+      let oracle = Poissonize.of_pmf (Randkit.Rng.split rng) pmf in
+      if probe oracle = Verdict.Accept then incr accepts
+    done;
+    !accepts
+  in
+  let shared_probe_arm () =
+    let rng = Randkit.Rng.create ~seed:mode.Exp_common.seed in
+    accepts_of
+      (Harness.run_trials ~pool:Parkit.Pool.sequential ~rng
+         ~trials:probe_trials ~pmf (fun trial -> probe trial.Harness.oracle))
+  in
+  let accepts_rebuild, t_rebuild = Exp_common.wall_time_of rebuild_arm in
+  let accepts_probe, t_shared = Exp_common.wall_time_of shared_probe_arm in
+  let alias_speedup = t_rebuild /. Float.max 1e-9 t_shared in
+  Exp_common.row
+    "alias table, %d probe trials (m=%d, n=%d):@." probe_trials probe_m n;
+  Exp_common.row "  rebuild per trial %.3f s | shared table %.3f s | %.1fx@."
+    t_rebuild t_shared alias_speedup;
+  if accepts_rebuild <> accepts_probe then
+    Exp_common.row "WARNING: shared arm accepted %d but rebuild arm %d@."
+      accepts_probe accepts_rebuild;
+
+  (* 2. Throughput of a real tester workload across job counts. *)
+  let trials = if mode.Exp_common.quick then 12 else 48 in
+  let config = Exp_common.scaled_config 0.1 in
+  let decide oracle = Histotest.Hist_tester.test ~config oracle ~k ~eps in
+  let tester_arm pool () =
+    let rng = Randkit.Rng.create ~seed:mode.Exp_common.seed in
+    accepts_of
+      (Harness.run_trials ~pool ~rng ~trials ~pmf (fun trial ->
+           decide trial.Harness.oracle))
+  in
+  Exp_common.row "@.%d Algorithm-1 trials per job count:@." trials;
+  Exp_common.row "%5s | %10s | %12s | %10s@." "jobs" "time (s)" "trials/sec"
+    "accepts";
+  Exp_common.hline ();
+  let job_rows =
+    List.map
+      (fun jobs ->
+        let accepts, t =
+          Parkit.Pool.with_pool ~jobs (fun pool ->
+              Exp_common.wall_time_of (tester_arm pool))
+        in
+        let rate = float_of_int trials /. Float.max 1e-9 t in
+        Exp_common.row "%5d | %10.3f | %12.1f | %7d/%d@." jobs t rate accepts
+          trials;
+        (jobs, t, rate, accepts))
+      [ 1; 2; 4 ]
+  in
+  let base_accepts, base_rate =
+    match job_rows with
+    | (_, _, r, a) :: _ -> (a, r)
+    | [] -> (0, nan)
+  in
+  List.iter
+    (fun (jobs, _, _, a) ->
+      if a <> base_accepts then
+        Exp_common.row "WARNING: jobs=%d accepts differ from jobs=1!@." jobs)
+    job_rows;
+  let json =
+    Printf.sprintf
+      "{\"bench\":\"e17_parallel\",\"n\":%d,\"k\":%d,\"eps\":%g,\"trials\":%d,\
+       \"seed\":%d,\"cores\":%d,\
+       \"alias_shared_speedup\":%.2f,\"deterministic\":%b,\"jobs\":[%s]}"
+      n k eps trials mode.Exp_common.seed
+      (Domain.recommended_domain_count ())
+      alias_speedup
+      (List.for_all (fun (_, _, _, a) -> a = base_accepts) job_rows
+      && accepts_rebuild = accepts_probe)
+      (String.concat ","
+         (List.map
+            (fun (jobs, t, rate, _) ->
+              Printf.sprintf
+                "{\"jobs\":%d,\"seconds\":%.4f,\"trials_per_sec\":%.2f,\
+                 \"speedup\":%.3f}"
+                jobs t rate (rate /. base_rate))
+            job_rows))
+  in
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 bench_file
+  in
+  output_string oc (json ^ "\n");
+  close_out oc;
+  Exp_common.row "@.%s@." json;
+  Exp_common.row "(appended to %s)@." bench_file

@@ -17,14 +17,13 @@ let row fmt = Format.printf fmt
 let hline () =
   Format.printf "%s@." (String.make 72 '-')
 
+(* Trials run on the Parkit default pool (--jobs / HISTOTEST_JOBS).  The
+   harness pre-splits the generators and shares one alias table, so the
+   measured rates are bit-identical at any job count. *)
 let accept_rate ~mode ~trials ~pmf run =
   let rng = Randkit.Rng.create ~seed:mode.seed in
-  let accepts = ref 0 in
-  for _ = 1 to trials do
-    let oracle = Poissonize.of_pmf (Randkit.Rng.split rng) pmf in
-    if run oracle = Verdict.Accept then incr accepts
-  done;
-  float_of_int !accepts /. float_of_int trials
+  Harness.accept_rate ~rng ~trials ~pmf (fun trial ->
+      run trial.Harness.oracle)
 
 (* Error on a completeness/soundness pair: (rejection rate on yes,
    acceptance rate on no). *)
@@ -40,6 +39,13 @@ let time_of f =
   let t0 = Sys.time () in
   let x = f () in
   (x, Sys.time () -. t0)
+
+(* Wall-clock variant: Sys.time is CPU time summed over domains, which
+   would hide any multicore speedup. *)
+let wall_time_of f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
 
 (* Canonical instance pairs used across experiments: a k-staircase with
    well-separated levels (in H_k) against a 4k-piece comb (far from H_k at

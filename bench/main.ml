@@ -4,7 +4,8 @@
      dune exec bench/main.exe                 # all experiments, quick mode
      dune exec bench/main.exe -- e1 e4        # a subset
      dune exec bench/main.exe -- --full       # full-size sweeps
-     dune exec bench/main.exe -- --seed 7 e10 # different seed *)
+     dune exec bench/main.exe -- --seed 7 e10 # different seed
+     dune exec bench/main.exe -- --jobs 4 e1  # trial loops on 4 domains *)
 
 let experiments =
   [
@@ -24,22 +25,34 @@ let experiments =
     ("e14", E14_kmodal.run);
     ("e15", E15_closeness.run);
     ("e16", E16_structured.run);
+    ("e17", E17_parallel.run);
   ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
-  let seed =
+  let opt_value name =
     let rec find = function
-      | "--seed" :: v :: _ -> int_of_string v
+      | x :: v :: _ when x = name -> Some v
       | _ :: rest -> find rest
-      | [] -> 1
+      | [] -> None
     in
     find args
   in
+  let seed =
+    match opt_value "--seed" with Some v -> int_of_string v | None -> 1
+  in
+  (match opt_value "--jobs" with
+  | Some v -> Parkit.Pool.set_default ~jobs:(int_of_string v)
+  | None -> ());
   let selected =
-    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-'))
-      (List.filter (fun a -> a <> string_of_int seed) args)
+    let rec strip = function
+      | ("--seed" | "--jobs") :: _ :: rest -> strip rest
+      | "--full" :: rest -> strip rest
+      | a :: rest -> a :: strip rest
+      | [] -> []
+    in
+    strip args
   in
   let mode = { Exp_common.quick = not full; seed } in
   let to_run =
@@ -51,13 +64,14 @@ let () =
             match List.assoc_opt (String.lowercase_ascii name) experiments with
             | Some f -> Some (name, f)
             | None ->
-                Format.eprintf "unknown experiment %S (known: e1..e16)@." name;
+                Format.eprintf "unknown experiment %S (known: e1..e17)@." name;
                 None)
           names
   in
-  Format.printf "histotest experiment harness (%s mode, seed %d)@."
+  Format.printf "histotest experiment harness (%s mode, seed %d, jobs %d)@."
     (if full then "full" else "quick")
-    seed;
+    seed
+    (Parkit.Pool.jobs (Parkit.Pool.get_default ()));
   let t0 = Sys.time () in
   List.iter (fun (_, f) -> f mode) to_run;
   Format.printf "@.total time: %.1f s@." (Sys.time () -. t0)

@@ -66,6 +66,17 @@ let trials_arg =
   Arg.(
     value & opt int 1 & info [ "trials" ] ~docv:"T" ~doc:"Independent trials.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Domains for the trial loop (results are bit-identical at any \
+           value). 0 means $(b,HISTOTEST_JOBS) if set, otherwise all \
+           recommended cores.")
+
+let apply_jobs jobs = if jobs > 0 then Parkit.Pool.set_default ~jobs
+
 let paper_arg =
   Arg.(
     value & flag
@@ -93,7 +104,8 @@ let with_family spec n seed f =
 
 (* --- test command --- *)
 
-let run_test family n k eps seed trials paper tester_name =
+let run_test family n k eps seed trials paper tester_name jobs =
+  apply_jobs jobs;
   with_family family n seed (fun pmf rng ->
       let config = config_of_paper paper in
       let tester =
@@ -115,13 +127,19 @@ let run_test family n k eps seed trials paper tester_name =
             (Closest.tv_to_hk pmf ~k);
           Format.printf "planned budget   = %d samples@."
             (t.Histotest.Tester.budget ~n ~k ~eps);
+          (* Trials run on the parkit default pool (--jobs); the harness
+             pre-splits generators, so output is identical at any job
+             count. *)
+          let verdicts =
+            Harness.run_trials ~rng ~trials ~pmf (fun trial ->
+                t.Histotest.Tester.run trial.Harness.oracle ~k ~eps)
+          in
           let accepts = ref 0 in
-          for trial = 1 to trials do
-            let oracle = Poissonize.of_pmf (Randkit.Rng.split rng) pmf in
-            let v = t.Histotest.Tester.run oracle ~k ~eps in
-            if v = Verdict.Accept then incr accepts;
-            Format.printf "trial %d: %a@." trial Verdict.pp v
-          done;
+          Array.iteri
+            (fun i v ->
+              if v = Verdict.Accept then incr accepts;
+              Format.printf "trial %d: %a@." (i + 1) Verdict.pp v)
+            verdicts;
           if trials > 1 then
             Format.printf "accepted %d/%d@." !accepts trials;
           0)
@@ -132,7 +150,7 @@ let test_cmd =
     (Cmd.info "test" ~doc)
     Term.(
       const run_test $ family_arg $ n_arg $ k_arg $ eps_arg $ seed_arg
-      $ trials_arg $ paper_arg $ tester_arg)
+      $ trials_arg $ paper_arg $ tester_arg $ jobs_arg)
 
 (* --- select command --- *)
 
@@ -207,7 +225,8 @@ let demo_lb_cmd =
 
 (* --- closeness command --- *)
 
-let run_closeness fam1 fam2 n eps seed trials =
+let run_closeness fam1 fam2 n eps seed trials jobs =
+  apply_jobs jobs;
   with_family fam1 n seed (fun p1 rng ->
       match parse_family fam2 ~n ~rng with
       | `Error (_, msg) ->
@@ -216,19 +235,35 @@ let run_closeness fam1 fam2 n eps seed trials =
       | `Ok p2 ->
           Format.printf "tv(%s, %s) = %.4f (ground truth)@." fam1 fam2
             (Distance.tv p1 p2);
-          let accepts = ref 0 in
-          for trial = 1 to trials do
-            let o1 = Poissonize.of_pmf (Randkit.Rng.split rng) p1 in
-            let o2 = Poissonize.of_pmf (Randkit.Rng.split rng) p2 in
-            let out = Histotest.Closeness.run o1 o2 ~eps in
-            if out.Histotest.Closeness.verdict = Verdict.Accept then
-              incr accepts;
-            Format.printf "trial %d: %a (Z = %.1f vs %.1f, %d samples)@."
-              trial Verdict.pp out.Histotest.Closeness.verdict
-              out.Histotest.Closeness.statistic
-              out.Histotest.Closeness.threshold
-              out.Histotest.Closeness.samples_used
+          (* Two oracles per trial: split both generators sequentially
+             before dispatch and share one alias table per side, exactly
+             like the one-sample harness. *)
+          let a1 = Alias.of_pmf p1 and a2 = Alias.of_pmf p2 in
+          let pairs = Array.make trials (rng, rng) in
+          for i = 0 to trials - 1 do
+            let r1 = Randkit.Rng.split rng in
+            let r2 = Randkit.Rng.split rng in
+            pairs.(i) <- (r1, r2)
           done;
+          let outs =
+            Parkit.Pool.map
+              (Parkit.Pool.get_default ())
+              (fun (r1, r2) ->
+                Histotest.Closeness.run (Poissonize.of_alias r1 a1)
+                  (Poissonize.of_alias r2 a2) ~eps)
+              pairs
+          in
+          let accepts = ref 0 in
+          Array.iteri
+            (fun i out ->
+              if out.Histotest.Closeness.verdict = Verdict.Accept then
+                incr accepts;
+              Format.printf "trial %d: %a (Z = %.1f vs %.1f, %d samples)@."
+                (i + 1) Verdict.pp out.Histotest.Closeness.verdict
+                out.Histotest.Closeness.statistic
+                out.Histotest.Closeness.threshold
+                out.Histotest.Closeness.samples_used)
+            outs;
           if trials > 1 then Format.printf "accepted %d/%d@." !accepts trials;
           0)
 
@@ -245,7 +280,7 @@ let closeness_cmd =
     (Cmd.info "closeness" ~doc)
     Term.(
       const run_closeness $ family_arg $ family2_arg $ n_arg $ eps_arg
-      $ seed_arg $ trials_arg)
+      $ seed_arg $ trials_arg $ jobs_arg)
 
 (* --- estimate command --- *)
 
@@ -300,7 +335,8 @@ let read_dataset path =
       raise e);
   List.rev !values
 
-let run_test_file path domain k eps seed trials =
+let run_test_file path domain k eps seed trials jobs =
+  apply_jobs jobs;
   match read_dataset path with
   | exception Sys_error msg ->
       prerr_endline ("error: " ^ msg);
@@ -344,15 +380,18 @@ let run_test_file path domain k eps seed trials =
           Format.printf
             "(accept iff it is well below your eps = %g).@." eps
         end;
+        let reports =
+          Harness.run_trials ~rng ~trials ~pmf:population (fun trial ->
+              Histotest.Hist_tester.run trial.Harness.oracle ~k ~eps)
+        in
         let accepts = ref 0 in
-        for trial = 1 to trials do
-          let oracle = Poissonize.of_pmf (Randkit.Rng.split rng) population in
-          let report = Histotest.Hist_tester.run oracle ~k ~eps in
-          if report.Histotest.Hist_tester.verdict = Verdict.Accept then
-            incr accepts;
-          Format.printf "trial %d:@.%a@." trial Histotest.Hist_tester.pp_report
-            report
-        done;
+        Array.iteri
+          (fun i report ->
+            if report.Histotest.Hist_tester.verdict = Verdict.Accept then
+              incr accepts;
+            Format.printf "trial %d:@.%a@." (i + 1)
+              Histotest.Hist_tester.pp_report report)
+          reports;
         if trials > 1 then Format.printf "accepted %d/%d@." !accepts trials;
         0
       end
@@ -377,7 +416,7 @@ let test_file_cmd =
     (Cmd.info "test-file" ~doc)
     Term.(
       const run_test_file $ file_arg $ domain_opt_arg $ k_arg $ eps_arg
-      $ seed_arg $ trials_arg)
+      $ seed_arg $ trials_arg $ jobs_arg)
 
 let main_cmd =
   let doc = "testing histogram distributions (PODS reproduction)" in

@@ -28,13 +28,37 @@ let draw t rng =
   let i = Randkit.Rng.int rng (size t) in
   if Randkit.Rng.float rng 1. < t.prob.(i) then i else t.alias.(i)
 
+(* The batch loops below are the innermost loop of every experiment:
+   millions of draws per sweep point.  They hoist the table fields out of
+   the per-draw path and index unsafely (i is produced by [Rng.int n], so
+   it is in bounds by construction), allocating nothing but the result. *)
+
 let draw_many t rng m =
-  Array.init m (fun _ -> draw t rng)
+  if m < 0 then invalid_arg "Alias.draw_many: negative sample count";
+  let prob = t.prob and alias = t.alias in
+  let n = Array.length prob in
+  let out = Array.make m 0 in
+  for j = 0 to m - 1 do
+    let i = Randkit.Rng.int rng n in
+    let x =
+      if Randkit.Rng.float rng 1. < Array.unsafe_get prob i then i
+      else Array.unsafe_get alias i
+    in
+    Array.unsafe_set out j x
+  done;
+  out
 
 let draw_counts t rng m =
-  let counts = Array.make (size t) 0 in
+  if m < 0 then invalid_arg "Alias.draw_counts: negative sample count";
+  let prob = t.prob and alias = t.alias in
+  let n = Array.length prob in
+  let counts = Array.make n 0 in
   for _ = 1 to m do
-    let i = draw t rng in
-    counts.(i) <- counts.(i) + 1
+    let i = Randkit.Rng.int rng n in
+    let x =
+      if Randkit.Rng.float rng 1. < Array.unsafe_get prob i then i
+      else Array.unsafe_get alias i
+    in
+    Array.unsafe_set counts x (Array.unsafe_get counts x + 1)
   done;
   counts

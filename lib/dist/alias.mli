@@ -1,6 +1,12 @@
 (** Vose's alias method: O(n) preprocessing, O(1) per sample.  Every tester
     experiment draws up to millions of samples per trial, so this is the hot
-    path of the whole benchmark harness. *)
+    path of the whole benchmark harness.
+
+    A table is immutable after [of_pmf]: it can be built once per PMF and
+    shared read-only across trials — and across domains (see Parkit) — the
+    harness relies on this to avoid rebuilding the O(n) table per trial.
+    Only the [Randkit.Rng.t] handle passed to the draw functions is
+    mutated, so concurrent draws need only distinct generators. *)
 
 type t
 
@@ -11,7 +17,10 @@ val draw : t -> Randkit.Rng.t -> int
 (** One sample (a domain element in [0..n-1]). *)
 
 val draw_many : t -> Randkit.Rng.t -> int -> int array
-(** [m] iid samples. *)
+(** [m] iid samples.  Consumes the same generator stream as [m]
+    successive [draw]s.  Allocates only the result array. *)
 
 val draw_counts : t -> Randkit.Rng.t -> int -> int array
-(** Occurrence counts N_i of [m] iid samples (multinomial). *)
+(** Occurrence counts N_i of [m] iid samples (multinomial).  Same
+    generator stream as [m] successive [draw]s; allocates only the
+    counts array. *)

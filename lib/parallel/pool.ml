@@ -1,0 +1,208 @@
+(* A monitor-style work-sharing pool: one mutex, two conditions, and an
+   index counter workers race on.  Batches are coarse (one Monte-Carlo
+   trial per index), so a single lock around the claim counter is far from
+   contended; what matters is that results land in submission order and
+   that a [jobs = 1] pool is exactly a sequential loop. *)
+
+type state = {
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  work_done : Condition.t;
+  mutable body : int -> unit;
+  mutable next : int;  (* next unclaimed index of the current batch *)
+  mutable total : int;
+  mutable completed : int;
+  mutable generation : int;  (* bumped per batch so workers join it once *)
+  mutable busy : bool;
+  mutable exn : (exn * Printexc.raw_backtrace) option;
+  mutable shutdown : bool;
+  mutable domains : unit Domain.t list;
+}
+
+type t = { jobs : int; state : state option }
+
+let jobs t = t.jobs
+
+(* True while this domain is executing a pool task: nested [map]/[init]
+   calls fall back to a sequential loop instead of corrupting the batch
+   state (or deadlocking) of the pool they are already inside. *)
+let in_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+(* Claim-and-run loop.  Called (and returns) with [st.mutex] held.  A
+   raising body records the first exception and cancels the batch's
+   unclaimed indices; every claimed index still counts toward
+   [completed], so the batch always drains. *)
+let drain st =
+  let rec loop () =
+    if st.next < st.total then begin
+      let i = st.next in
+      st.next <- st.next + 1;
+      let body = st.body in
+      Mutex.unlock st.mutex;
+      (match body i with
+      | () -> Mutex.lock st.mutex
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Mutex.lock st.mutex;
+          if st.exn = None then st.exn <- Some (e, bt);
+          st.completed <- st.completed + (st.total - st.next);
+          st.next <- st.total);
+      st.completed <- st.completed + 1;
+      if st.completed >= st.total then Condition.broadcast st.work_done;
+      loop ()
+    end
+  in
+  loop ()
+
+let worker st () =
+  Domain.DLS.set in_task true;
+  let seen = ref 0 in
+  Mutex.lock st.mutex;
+  while not st.shutdown do
+    if st.busy && st.generation <> !seen then begin
+      seen := st.generation;
+      drain st
+    end
+    else Condition.wait st.work_available st.mutex
+  done;
+  Mutex.unlock st.mutex
+
+let nop_body _ = ()
+
+let create ~jobs =
+  if jobs <= 0 then invalid_arg "Pool.create: jobs must be positive";
+  if jobs = 1 then { jobs = 1; state = None }
+  else begin
+    let st =
+      {
+        mutex = Mutex.create ();
+        work_available = Condition.create ();
+        work_done = Condition.create ();
+        body = nop_body;
+        next = 0;
+        total = 0;
+        completed = 0;
+        generation = 0;
+        busy = false;
+        exn = None;
+        shutdown = false;
+        domains = [];
+      }
+    in
+    st.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (worker st));
+    { jobs; state = Some st }
+  end
+
+let sequential = { jobs = 1; state = None }
+
+let shutdown t =
+  match t.state with
+  | None -> ()
+  | Some st ->
+      Mutex.lock st.mutex;
+      if st.shutdown then Mutex.unlock st.mutex
+      else begin
+        st.shutdown <- true;
+        Condition.broadcast st.work_available;
+        Mutex.unlock st.mutex;
+        List.iter Domain.join st.domains;
+        st.domains <- []
+      end
+
+(* Run one batch.  The submitting domain participates in the claim loop,
+   so a [create ~jobs] pool applies [jobs] domains to the batch.  If the
+   pool is already mid-batch (a submission from another domain), degrade
+   to a sequential loop rather than interleave two batches. *)
+let run st ~total body =
+  Mutex.lock st.mutex;
+  if st.busy then begin
+    Mutex.unlock st.mutex;
+    for i = 0 to total - 1 do
+      body i
+    done
+  end
+  else begin
+    st.busy <- true;
+    st.body <- body;
+    st.next <- 0;
+    st.total <- total;
+    st.completed <- 0;
+    st.exn <- None;
+    st.generation <- st.generation + 1;
+    Condition.broadcast st.work_available;
+    Domain.DLS.set in_task true;
+    drain st;
+    Domain.DLS.set in_task false;
+    while st.completed < st.total do
+      Condition.wait st.work_done st.mutex
+    done;
+    st.busy <- false;
+    st.body <- nop_body;
+    let e = st.exn in
+    st.exn <- None;
+    Mutex.unlock st.mutex;
+    match e with
+    | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None -> ()
+  end
+
+let map t f arr =
+  let n = Array.length arr in
+  match t.state with
+  | None -> Array.map f arr
+  | Some _ when n <= 1 || Domain.DLS.get in_task -> Array.map f arr
+  | Some st ->
+      let results = Array.make n None in
+      run st ~total:n (fun i -> results.(i) <- Some (f arr.(i)));
+      Array.map (function Some v -> v | None -> assert false) results
+
+let init t n f =
+  if n < 0 then invalid_arg "Pool.init: negative length";
+  map t f (Array.init n Fun.id)
+
+let default_jobs () =
+  match Sys.getenv_opt "HISTOTEST_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j > 0 -> j
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* Process-wide default pool: lazily created, replaceable by --jobs, and
+   shut down at exit so worker domains are joined cleanly. *)
+let default_lock = Mutex.create ()
+let default_pool = ref None
+let at_exit_registered = ref false
+
+let unsynchronized_set ~jobs =
+  (match !default_pool with Some p -> shutdown p | None -> ());
+  let p = create ~jobs in
+  default_pool := Some p;
+  if not !at_exit_registered then begin
+    at_exit_registered := true;
+    at_exit (fun () ->
+        match !default_pool with Some p -> shutdown p | None -> ())
+  end;
+  p
+
+let get_default () =
+  Mutex.lock default_lock;
+  let p =
+    match !default_pool with
+    | Some p -> p
+    | None -> unsynchronized_set ~jobs:(default_jobs ())
+  in
+  Mutex.unlock default_lock;
+  p
+
+let set_default ~jobs =
+  Mutex.lock default_lock;
+  (match unsynchronized_set ~jobs with
+  | _ -> Mutex.unlock default_lock
+  | exception e ->
+      Mutex.unlock default_lock;
+      raise e)
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

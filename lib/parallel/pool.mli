@@ -1,0 +1,58 @@
+(** A fixed-size domain pool for embarrassingly parallel batches.
+
+    The experiment harness runs hundreds of independent Monte-Carlo trials
+    per sweep point; this pool spreads a batch over OCaml 5 domains while
+    keeping results **deterministic**: [map]/[init] return results in
+    submission order, and the pool itself introduces no randomness — the
+    scheduling order in which indices happen to execute is invisible as
+    long as the per-index work is independent (the harness guarantees this
+    by pre-splitting one RNG per trial sequentially, before dispatch).
+
+    A [jobs = 1] pool degenerates to a plain sequential loop with no
+    domains, no locks and no extra allocation, so callers can thread a
+    pool unconditionally. *)
+
+type t
+
+val create : jobs:int -> t
+(** A pool running batches on [jobs] domains ([jobs - 1] spawned workers
+    plus the submitting domain).  [jobs] is clamped to at least 1; a
+    1-job pool spawns nothing and runs sequentially.
+    @raise Invalid_argument if [jobs <= 0]. *)
+
+val jobs : t -> int
+
+val sequential : t
+(** The shared 1-job pool: a plain loop, always safe. *)
+
+val default_jobs : unit -> int
+(** The [HISTOTEST_JOBS] environment variable if set to a positive
+    integer, otherwise [Domain.recommended_domain_count ()]. *)
+
+val get_default : unit -> t
+(** A process-wide shared pool, created lazily with [default_jobs ()].
+    Harness entry points use it when no explicit pool is passed. *)
+
+val set_default : jobs:int -> unit
+(** Replace the process-wide default pool (shutting the old one down).
+    This is what the [--jobs] CLI flags call. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f arr] applies [f] to every element, possibly on several
+    domains, and returns the results **in index order** — identical to
+    [Array.map f arr] whenever [f]'s per-element work is independent.
+    [f] must be safe to run concurrently with itself (no shared mutable
+    state; immutable inputs such as alias tables and PMFs are fine).
+    If any application raises, the first exception observed is re-raised
+    after the batch drains.  Calls nested inside a pool task run
+    sequentially instead of deadlocking. *)
+
+val init : t -> int -> (int -> 'a) -> 'a array
+(** [init pool n f] is [map] over indices [0 .. n-1], in index order. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  The pool must not be used afterwards;
+    shutting down [sequential] or an already-shut pool is a no-op. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** Create, run, and always shut down. *)

@@ -1,13 +1,30 @@
 type trial = { rng : Randkit.Rng.t; oracle : Poissonize.oracle }
 
-let run_trials ~rng ~trials ~pmf f =
-  Array.init trials (fun _ ->
-      let child = Randkit.Rng.split rng in
-      let oracle = Poissonize.of_pmf child pmf in
-      f { rng = child; oracle })
+(* One generator per trial, split off *sequentially before dispatch*: the
+   child streams — and therefore every trial's samples — are fixed by the
+   seed alone, so a parallel run is bit-identical to a sequential one
+   regardless of how the pool schedules the trials. *)
+let split_rngs ~rng ~trials =
+  let rngs = Array.make trials rng in
+  for i = 0 to trials - 1 do
+    rngs.(i) <- Randkit.Rng.split rng
+  done;
+  rngs
 
-let accept_rate ~rng ~trials ~pmf decide =
-  let verdicts = run_trials ~rng ~trials ~pmf decide in
+let run_trials ?pool ~rng ~trials ~pmf f =
+  let pool =
+    match pool with Some p -> p | None -> Parkit.Pool.get_default ()
+  in
+  (* The O(n) alias table depends only on the PMF: build it once and share
+     it read-only across all trials (and domains). *)
+  let alias = Alias.of_pmf pmf in
+  let rngs = split_rngs ~rng ~trials in
+  Parkit.Pool.map pool
+    (fun child -> f { rng = child; oracle = Poissonize.of_alias child alias })
+    rngs
+
+let accept_rate ?pool ~rng ~trials ~pmf decide =
+  let verdicts = run_trials ?pool ~rng ~trials ~pmf decide in
   let accepts =
     Array.fold_left
       (fun acc v -> if v = Verdict.Accept then acc + 1 else acc)
@@ -15,8 +32,8 @@ let accept_rate ~rng ~trials ~pmf decide =
   in
   float_of_int accepts /. float_of_int trials
 
-let error_rate ~rng ~trials ~pmf ~in_class decide =
-  let rate = accept_rate ~rng ~trials ~pmf decide in
+let error_rate ?pool ~rng ~trials ~pmf ~in_class decide =
+  let rate = accept_rate ?pool ~rng ~trials ~pmf decide in
   if in_class then 1. -. rate else rate
 
 type complexity_result = {
@@ -24,14 +41,14 @@ type complexity_result = {
   probed : (int * float) list;  (** (m, worst error rate) per probe *)
 }
 
-let min_samples ~rng ~trials ~limit ~start ~yes_pmf ~no_pmf decide =
+let min_samples ?pool ~rng ~trials ~limit ~start ~yes_pmf ~no_pmf decide =
   let probed = ref [] in
   let ok m =
     let err_yes =
-      error_rate ~rng ~trials ~pmf:yes_pmf ~in_class:true (decide ~m)
+      error_rate ?pool ~rng ~trials ~pmf:yes_pmf ~in_class:true (decide ~m)
     in
     let err_no =
-      error_rate ~rng ~trials ~pmf:no_pmf ~in_class:false (decide ~m)
+      error_rate ?pool ~rng ~trials ~pmf:no_pmf ~in_class:false (decide ~m)
     in
     let worst = Float.max err_yes err_no in
     probed := (m, worst) :: !probed;

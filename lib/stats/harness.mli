@@ -3,18 +3,28 @@
 
     Each trial gets a split-off generator and a fresh oracle, so trials are
     statistically independent yet the whole experiment is reproducible from
-    one seed. *)
+    one seed.  Trials run on the [Parkit] pool (the process default unless
+    [?pool] is given; [HISTOTEST_JOBS] / [--jobs] control it).  The
+    generators are split sequentially *before* dispatch and the O(n) alias
+    table is built once per PMF and shared read-only, so results are
+    bit-identical at any job count — trial [i] sees the same generator
+    stream whether it runs first, last, or on another domain. *)
 
 type trial = { rng : Randkit.Rng.t; oracle : Poissonize.oracle }
 
 val run_trials :
+  ?pool:Parkit.Pool.t ->
   rng:Randkit.Rng.t ->
   trials:int ->
   pmf:Pmf.t ->
   (trial -> 'a) ->
   'a array
+(** Results are in trial order.  [f] runs concurrently with itself when
+    the pool has more than one job: it must only mutate its own trial's
+    state (the trial's [rng], its oracle, locals). *)
 
 val accept_rate :
+  ?pool:Parkit.Pool.t ->
   rng:Randkit.Rng.t ->
   trials:int ->
   pmf:Pmf.t ->
@@ -22,6 +32,7 @@ val accept_rate :
   float
 
 val error_rate :
+  ?pool:Parkit.Pool.t ->
   rng:Randkit.Rng.t ->
   trials:int ->
   pmf:Pmf.t ->
@@ -37,6 +48,7 @@ type complexity_result = {
 }
 
 val min_samples :
+  ?pool:Parkit.Pool.t ->
   rng:Randkit.Rng.t ->
   trials:int ->
   limit:int ->

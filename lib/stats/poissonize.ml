@@ -5,9 +5,8 @@ type oracle = {
   stream : int -> int array;
 }
 
-let of_pmf rng pmf =
-  let alias = Alias.of_pmf pmf in
-  let n = Pmf.size pmf in
+let of_alias rng alias =
+  let n = Alias.size alias in
   {
     n;
     exact = (fun m -> Alias.draw_counts alias rng m);
@@ -20,4 +19,5 @@ let of_pmf rng pmf =
     stream = (fun m -> Alias.draw_many alias rng m);
   }
 
+let of_pmf rng pmf = of_alias rng (Alias.of_pmf pmf)
 let of_pmf_seeded ~seed pmf = of_pmf (Randkit.Rng.create ~seed) pmf

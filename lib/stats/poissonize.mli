@@ -16,4 +16,13 @@ type oracle = {
 }
 
 val of_pmf : Randkit.Rng.t -> Pmf.t -> oracle
+(** Builds a fresh O(n) alias table; prefer [of_alias] when many oracles
+    are made over the same PMF (one per trial in the harness). *)
+
+val of_alias : Randkit.Rng.t -> Alias.t -> oracle
+(** An oracle over a pre-built alias table.  The table is immutable and
+    may be shared by any number of oracles across trials and domains;
+    only [rng] is mutated by draws, so each concurrent oracle needs its
+    own generator. *)
+
 val of_pmf_seeded : seed:int -> Pmf.t -> oracle

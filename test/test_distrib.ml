@@ -98,6 +98,34 @@ let test_alias_draw_many () =
     (fun x -> Alcotest.(check bool) "in range" true (x >= 0 && x < 16))
     xs
 
+(* The batched paths are the harness inner loop; they must be exactly
+   "m successive draws" — same generator stream, same values — and agree
+   with [draw] in distribution. *)
+
+let test_draw_counts_agrees_with_draw () =
+  let p = Pmf.create [| 0.05; 0.15; 0.3; 0.5 |] in
+  let a = Alias.of_pmf p in
+  let m = 100_000 in
+  let batched = Alias.draw_counts a (rng ()) m in
+  let looped = Array.make 4 0 in
+  let r = Randkit.Rng.create ~seed:999 in
+  for _ = 1 to m do
+    let i = Alias.draw a r in
+    looped.(i) <- looped.(i) + 1
+  done;
+  let tv = ref 0. in
+  for i = 0 to 3 do
+    tv :=
+      !tv
+      +. Float.abs (float_of_int batched.(i) -. float_of_int looped.(i))
+         /. float_of_int m
+  done;
+  let tv = !tv /. 2. in
+  Alcotest.(check bool)
+    (Printf.sprintf "empirical tv %.4f < 0.01" tv)
+    true (tv < 0.01)
+
+
 (* --- Distance --- *)
 
 let test_distance_identical () =
@@ -393,6 +421,48 @@ let prop_tv_bounds =
       let t = Distance.tv a b in
       t >= -1e-12 && t <= 1. +. 1e-12)
 
+(* --- alias batch paths (qcheck) --- *)
+
+let gen_seed = QCheck.int_range 0 10_000
+
+let prop_draw_counts_sums_to_m =
+  QCheck.Test.make ~name:"draw_counts sums to m" ~count:100
+    (QCheck.pair arb_pmf (QCheck.int_range 0 2000))
+    (fun (p, m) ->
+      let a = Alias.of_pmf p in
+      let counts = Alias.draw_counts a (Randkit.Rng.create ~seed:42) m in
+      Array.length counts = Pmf.size p
+      && Array.for_all (fun c -> c >= 0) counts
+      && Array.fold_left ( + ) 0 counts = m)
+
+let prop_draw_many_is_fold_of_draw =
+  QCheck.Test.make ~name:"draw_many = m successive draws (copied rng)"
+    ~count:100
+    (QCheck.triple arb_pmf (QCheck.int_range 0 500) gen_seed)
+    (fun (p, m, seed) ->
+      let a = Alias.of_pmf p in
+      let r1 = Randkit.Rng.create ~seed in
+      let r2 = Randkit.Rng.copy r1 in
+      let batch = Alias.draw_many a r1 m in
+      let one_by_one = Array.init m (fun _ -> Alias.draw a r2) in
+      batch = one_by_one)
+
+let prop_draw_counts_is_fold_of_draw =
+  QCheck.Test.make ~name:"draw_counts = counts of m successive draws"
+    ~count:100
+    (QCheck.triple arb_pmf (QCheck.int_range 0 500) gen_seed)
+    (fun (p, m, seed) ->
+      let a = Alias.of_pmf p in
+      let r1 = Randkit.Rng.create ~seed in
+      let r2 = Randkit.Rng.copy r1 in
+      let batch = Alias.draw_counts a r1 m in
+      let counts = Array.make (Pmf.size p) 0 in
+      for _ = 1 to m do
+        let i = Alias.draw a r2 in
+        counts.(i) <- counts.(i) + 1
+      done;
+      batch = counts)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "distrib"
@@ -414,6 +484,11 @@ let () =
           Alcotest.test_case "frequencies" `Quick test_alias_frequencies;
           Alcotest.test_case "point mass" `Quick test_alias_point_mass;
           Alcotest.test_case "draw_many" `Quick test_alias_draw_many;
+          Alcotest.test_case "draw_counts vs draw distribution" `Quick
+            test_draw_counts_agrees_with_draw;
+          qc prop_draw_counts_sums_to_m;
+          qc prop_draw_many_is_fold_of_draw;
+          qc prop_draw_counts_is_fold_of_draw;
         ] );
       ( "distance",
         [

@@ -1,0 +1,107 @@
+(* Parkit pool semantics: ordered deterministic results, sequential
+   degeneration, nesting, and error propagation.  The statistical
+   determinism of the harness on top of it is covered in test_statkit. *)
+
+let test_create_invalid () =
+  Alcotest.(check bool) "jobs <= 0 rejected" true
+    (try
+       ignore (Parkit.Pool.create ~jobs:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_map_matches_array_map () =
+  let input = Array.init 97 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  let expected = Array.map f input in
+  List.iter
+    (fun jobs ->
+      Parkit.Pool.with_pool ~jobs (fun pool ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "jobs=%d" jobs)
+            expected
+            (Parkit.Pool.map pool f input)))
+    [ 1; 2; 4 ]
+
+let test_init_ordered () =
+  Parkit.Pool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.(check (array int))
+        "init is index order" [| 0; 10; 20; 30; 40 |]
+        (Parkit.Pool.init pool 5 (fun i -> 10 * i)))
+
+let test_empty_and_singleton () =
+  Parkit.Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check (array int)) "empty" [||]
+        (Parkit.Pool.map pool (fun x -> x) [||]);
+      Alcotest.(check (array int)) "singleton" [| 7 |]
+        (Parkit.Pool.init pool 1 (fun _ -> 7)))
+
+let test_sequential_pool () =
+  Alcotest.(check int) "jobs" 1 (Parkit.Pool.jobs Parkit.Pool.sequential);
+  Alcotest.(check (array int)) "plain loop" [| 0; 1; 4 |]
+    (Parkit.Pool.init Parkit.Pool.sequential 3 (fun i -> i * i));
+  (* Shutting down the sequential pool is a no-op. *)
+  Parkit.Pool.shutdown Parkit.Pool.sequential;
+  Alcotest.(check (array int)) "usable after shutdown" [| 1 |]
+    (Parkit.Pool.init Parkit.Pool.sequential 1 (fun _ -> 1))
+
+let test_nested_map_no_deadlock () =
+  Parkit.Pool.with_pool ~jobs:2 (fun pool ->
+      let result =
+        Parkit.Pool.init pool 4 (fun i ->
+            (* A task submitting to its own pool must degrade to a
+               sequential loop, not deadlock. *)
+            Array.fold_left ( + ) 0
+              (Parkit.Pool.init pool 3 (fun j -> (10 * i) + j)))
+      in
+      Alcotest.(check (array int)) "nested results" [| 3; 33; 63; 93 |] result)
+
+exception Boom of int
+
+let test_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      Parkit.Pool.with_pool ~jobs (fun pool ->
+          Alcotest.(check bool)
+            (Printf.sprintf "raises at jobs=%d" jobs)
+            true
+            (try
+               ignore
+                 (Parkit.Pool.init pool 16 (fun i ->
+                      if i = 11 then raise (Boom i) else i));
+               false
+             with Boom 11 -> true);
+          (* The pool survives a failed batch. *)
+          Alcotest.(check (array int)) "pool still works" [| 0; 1; 2 |]
+            (Parkit.Pool.init pool 3 (fun i -> i))))
+    [ 1; 3 ]
+
+let test_default_jobs_positive () =
+  Alcotest.(check bool) "at least one" true (Parkit.Pool.default_jobs () >= 1)
+
+let test_set_default () =
+  Parkit.Pool.set_default ~jobs:2;
+  let p = Parkit.Pool.get_default () in
+  Alcotest.(check int) "default honors set_default" 2 (Parkit.Pool.jobs p);
+  Alcotest.(check (array int)) "default pool runs" [| 0; 2; 4 |]
+    (Parkit.Pool.init p 3 (fun i -> 2 * i));
+  Parkit.Pool.set_default ~jobs:1
+
+let () =
+  Alcotest.run "parkit"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "create invalid" `Quick test_create_invalid;
+          Alcotest.test_case "map = Array.map" `Quick
+            test_map_matches_array_map;
+          Alcotest.test_case "init ordered" `Quick test_init_ordered;
+          Alcotest.test_case "empty and singleton" `Quick
+            test_empty_and_singleton;
+          Alcotest.test_case "sequential pool" `Quick test_sequential_pool;
+          Alcotest.test_case "nested map" `Quick test_nested_map_no_deadlock;
+          Alcotest.test_case "exception propagates" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "default jobs" `Quick test_default_jobs_positive;
+          Alcotest.test_case "set_default" `Quick test_set_default;
+        ] );
+    ]

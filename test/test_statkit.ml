@@ -241,6 +241,111 @@ let test_min_samples_finds_budget () =
   | None -> Alcotest.fail "expected a finite budget"
   | Some m -> Alcotest.(check bool) "small budget suffices" true (m <= 256)
 
+(* --- parallel determinism ---
+
+   The harness contract: for a fixed seed the results are bit-identical
+   at any job count, and identical to the original (pre-parkit)
+   sequential loop, which split the generator and rebuilt the alias
+   table inside the per-trial loop.  [reference_trials] reproduces that
+   original loop verbatim. *)
+
+let reference_trials ~seed ~trials ~pmf f =
+  let rng = Randkit.Rng.create ~seed in
+  Array.init trials (fun _ ->
+      let child = Randkit.Rng.split rng in
+      let oracle = Poissonize.of_pmf child pmf in
+      f { Harness.rng = child; oracle })
+
+let parity_decide (trial : Harness.trial) =
+  let counts = trial.Harness.oracle.Poissonize.exact 200 in
+  if counts.(0) mod 2 = 0 then Verdict.Accept else Verdict.Reject
+
+let test_accept_rate_jobs_invariant () =
+  let pmf = Families.zipf ~n:64 ~s:1.0 in
+  let trials = 40 in
+  let reference =
+    let verdicts = reference_trials ~seed:31337 ~trials ~pmf parity_decide in
+    let accepts =
+      Array.fold_left
+        (fun acc v -> if v = Verdict.Accept then acc + 1 else acc)
+        0 verdicts
+    in
+    float_of_int accepts /. float_of_int trials
+  in
+  (* Value observed on the pre-parkit sequential harness: frozen so a
+     stream or split change cannot slip through unnoticed. *)
+  Alcotest.(check (float 0.)) "pre-change value" 0.4 reference;
+  List.iter
+    (fun jobs ->
+      Parkit.Pool.with_pool ~jobs (fun pool ->
+          let rate =
+            Harness.accept_rate ~pool
+              ~rng:(Randkit.Rng.create ~seed:31337)
+              ~trials ~pmf parity_decide
+          in
+          Alcotest.(check (float 0.))
+            (Printf.sprintf "jobs=%d bit-identical" jobs)
+            reference rate))
+    [ 1; 4 ]
+
+let test_run_trials_jobs_invariant () =
+  (* Element-wise equality of the full per-trial output, not just an
+     aggregate: each trial's counts vector must match the reference. *)
+  let pmf = Families.staircase ~n:256 ~k:4 ~rng:(rng ()) in
+  let collect (trial : Harness.trial) = trial.Harness.oracle.Poissonize.exact 500 in
+  let reference = reference_trials ~seed:7 ~trials:12 ~pmf collect in
+  List.iter
+    (fun jobs ->
+      Parkit.Pool.with_pool ~jobs (fun pool ->
+          let got =
+            Harness.run_trials ~pool
+              ~rng:(Randkit.Rng.create ~seed:7)
+              ~trials:12 ~pmf collect
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "jobs=%d trial streams identical" jobs)
+            true (got = reference)))
+    [ 1; 4 ]
+
+let test_min_samples_jobs_invariant () =
+  let yes = Pmf.uniform 4 and no = Pmf.point_mass ~n:4 0 in
+  let decide ~m (trial : Harness.trial) =
+    let counts = trial.Harness.oracle.Poissonize.exact m in
+    let mx = Array.fold_left max 0 counts in
+    if float_of_int mx /. float_of_int m < 0.5 then Verdict.Accept
+    else Verdict.Reject
+  in
+  let run jobs =
+    Parkit.Pool.with_pool ~jobs (fun pool ->
+        Harness.min_samples ~pool
+          ~rng:(Randkit.Rng.create ~seed:7)
+          ~trials:9 ~limit:4096 ~start:1 ~yes_pmf:yes ~no_pmf:no decide)
+  in
+  let r1 = run 1 and r4 = run 4 in
+  (* Values observed on the pre-parkit sequential harness. *)
+  Alcotest.(check bool) "pre-change budget" true (r1.Harness.samples = Some 8);
+  Alcotest.(check (float 0.)) "pre-change probe trace" 0.55555555555555558
+    (List.assoc 4 r1.Harness.probed);
+  Alcotest.(check bool) "same budget" true
+    (r1.Harness.samples = r4.Harness.samples);
+  Alcotest.(check bool) "same probe trace" true
+    (r1.Harness.probed = r4.Harness.probed)
+
+let test_median_value_jobs_invariant () =
+  (* A pure per-index estimator may use a pool; the median must not
+     depend on the job count. *)
+  let f i = sin (float_of_int (7 * i) +. 0.5) in
+  let reference = Amplify.median_value ~trials:31 f in
+  Parkit.Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check (float 0.)) "jobs=4 median identical" reference
+        (Amplify.median_value ~pool ~trials:31 f));
+  Parkit.Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check bool) "majority_vote identical" true
+        (Amplify.majority_vote ~trials:9 (fun i ->
+             if i mod 3 = 0 then Verdict.Reject else Verdict.Accept)
+        = Amplify.majority_vote ~pool ~trials:9 (fun i ->
+              if i mod 3 = 0 then Verdict.Reject else Verdict.Accept)))
+
 
 (* --- Budget_oracle --- *)
 
@@ -447,5 +552,16 @@ let () =
             test_min_samples_threshold;
           Alcotest.test_case "min_samples finds budget" `Quick
             test_min_samples_finds_budget;
+        ] );
+      ( "parallel determinism",
+        [
+          Alcotest.test_case "accept_rate jobs-invariant" `Quick
+            test_accept_rate_jobs_invariant;
+          Alcotest.test_case "run_trials jobs-invariant" `Quick
+            test_run_trials_jobs_invariant;
+          Alcotest.test_case "min_samples jobs-invariant" `Quick
+            test_min_samples_jobs_invariant;
+          Alcotest.test_case "median/majority jobs-invariant" `Quick
+            test_median_value_jobs_invariant;
         ] );
     ]
