@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench-smoke bench clean
+.PHONY: all build test bench-smoke bench-parallel bench clean
 
 all: build
 
@@ -15,6 +15,11 @@ test:
 # regress behaviour, without a full sweep.
 bench-smoke:
 	dune build @bench-smoke
+
+# The parallel-engine benchmark alone: appends one machine-readable line
+# (cores_recommended, per-job GC deltas, speedups) to BENCH_parallel.json.
+bench-parallel:
+	dune exec bench/main.exe -- e17
 
 bench:
 	dune exec bench/main.exe

@@ -96,7 +96,9 @@ let run (mode : Exp_common.mode) =
                 Histotest.Lowerbound.supp_size_instance ~side ~m ~n ~rng
               in
               let oracle = Poissonize.of_pmf (Randkit.Rng.split rng) pmf in
-              if decide m' { Harness.rng; oracle } <> expected then incr wrong
+              let ws = Workspace.domain_local () in
+              if decide m' { Harness.rng; oracle; ws } <> expected then
+                incr wrong
             done;
             float_of_int !wrong /. float_of_int trials
           in

@@ -1,7 +1,7 @@
-(* E17 — harness engineering, not a paper claim: trial throughput of the
-   parkit-powered experiment loop.
+(* E17 — harness engineering, not a paper claim: trial throughput and
+   allocation behaviour of the parkit-powered experiment loop.
 
-   Two measurements at n = 2^16:
+   Three measurements at n = 2^16:
 
    1. alias sharing — the sequential win from building the O(n) Vose
       table once per PMF (Poissonize.of_alias) instead of once per trial
@@ -9,13 +9,27 @@
       workload (a few hundred draws per trial, the regime of
       min_samples' early probes) where the per-trial rebuild used to
       dominate; reported even on one core.
-   2. trial throughput (trials/sec) of an E1-style Algorithm 1 workload
+   2. GC pressure of the chi^2 hot path — the allocating oracle plus a
+      replica of the per-cell-Kahan statistic (what the harness ran
+      before workspaces) against the workspace oracle plus the buffered
+      Chi2stat, same seeds.  Minor-collection and allocated-byte deltas
+      are read with Gc.quick_stat / Gc.allocated_bytes from this domain,
+      and the two arms must produce bit-identical Z sums.  This section
+      MUST run before the minor heap is enlarged below, otherwise the
+      collection counts it is trying to compare are flattened to zero.
+   3. trial throughput (trials/sec) of an E1-style Algorithm 1 workload
       at jobs in {1, 2, 4}, each job count checked to produce the same
       accept count as jobs = 1 (the pre-split-then-dispatch determinism
-      contract).
+      contract), with per-job GC deltas recorded.  Before the sweep the
+      orchestrating domain's minor heap is enlarged to the pool policy
+      so the jobs = 1 baseline is not penalised relative to the pooled
+      runs (Pool.create applies the same setting when jobs > 1).
 
-   One machine-readable line per run is appended to BENCH_parallel.json
-   so the perf trajectory accumulates across commits. *)
+   Speedup on this machine is bounded by Domain.recommended_domain_count;
+   job counts beyond it are tagged "oversubscribed" in the JSON and can
+   only lose time to stop-the-world coordination.  One machine-readable
+   line per run is appended to BENCH_parallel.json so the perf
+   trajectory accumulates across commits. *)
 
 let n = 65536
 let k = 4
@@ -27,12 +41,53 @@ let accepts_of verdicts =
     (fun acc v -> if v = Verdict.Accept then acc + 1 else acc)
     0 verdicts
 
+(* The pre-workspace statistic, verbatim: a fresh per_cell array, a fresh
+   Kahan accumulator per cell, a boxed float argument per element.  Kept
+   here (not in lib/) purely as the GC comparison baseline; arithmetic is
+   bit-identical to Chi2stat.compute. *)
+let pr1_chi2 ~counts ~m ~dstar ~part ~eps =
+  let nn = Pmf.size dstar in
+  let cutoff = Chi2stat.heavy_cutoff ~eps ~n:nn in
+  let ds = Pmf.unsafe_array dstar in
+  let kk = Partition.cell_count part in
+  let per_cell = Array.make kk 0. in
+  Partition.iteri
+    (fun j cell ->
+      let acc = Numkit.Kahan.create () in
+      Interval.iter
+        (fun i ->
+          let dsi = ds.(i) in
+          if dsi >= cutoff then begin
+            let expected = m *. dsi in
+            let ni = float_of_int counts.(i) in
+            let d = ni -. expected in
+            Numkit.Kahan.add acc (((d *. d) -. ni) /. expected)
+          end)
+        cell;
+      per_cell.(j) <- Numkit.Kahan.total acc)
+    part;
+  Numkit.Kahan.sum_array per_cell
+
+(* GC deltas of [f ()], as seen from the calling domain. *)
+let gc_deltas f =
+  let minor0 = (Gc.quick_stat ()).Gc.minor_collections in
+  let alloc0 = Gc.allocated_bytes () in
+  let x = f () in
+  let minor1 = (Gc.quick_stat ()).Gc.minor_collections in
+  let alloc1 = Gc.allocated_bytes () in
+  (x, minor1 - minor0, alloc1 -. alloc0)
+
+let mb bytes = bytes /. (1024. *. 1024.)
+
 let run (mode : Exp_common.mode) =
   Exp_common.section ~id:"E17 (parallel trial engine)"
     ~claim:
-      "Shared alias tables remove the per-trial O(n) setup, and parkit \
-       scales trial throughput across domains with bit-identical results.";
+      "Shared alias tables remove the per-trial O(n) setup, workspaces \
+       remove the per-trial allocation churn, and parkit spreads trials \
+       across domains with bit-identical results.";
   let pmf = Exp_common.yes_instance ~n ~k ~seed:mode.Exp_common.seed in
+  let cores = Domain.recommended_domain_count () in
+  Exp_common.row "recommended domains on this host: %d@.@." cores;
 
   (* 1. Alias sharing, sequentially, on a light probe workload: accept
      iff a handful of samples lands an even count on element 0.  The
@@ -70,60 +125,142 @@ let run (mode : Exp_common.mode) =
     Exp_common.row "WARNING: shared arm accepted %d but rebuild arm %d@."
       accepts_probe accepts_rebuild;
 
-  (* 2. Throughput of a real tester workload across job counts. *)
+  (* 2. GC pressure of the chi^2 hot path, before any minor-heap
+     enlargement (see header).  Same seed per arm, so the draw streams
+     and therefore the Z sums must match bit for bit. *)
+  let gc_trials = if mode.Exp_common.quick then 30 else 100 in
+  let gc_m = 4096. in
+  let alias = Alias.of_pmf pmf in
+  let part = Partition.equal_width ~n ~cells:64 in
+  let dstar = pmf in
+  let pr1_arm () =
+    let rng = Randkit.Rng.create ~seed:mode.Exp_common.seed in
+    let z = ref 0. in
+    for _ = 1 to gc_trials do
+      let oracle = Poissonize.of_alias (Randkit.Rng.split rng) alias in
+      let counts = oracle.Poissonize.poissonized gc_m in
+      z := !z +. pr1_chi2 ~counts ~m:gc_m ~dstar ~part ~eps
+    done;
+    !z
+  in
+  let ws_arm () =
+    let rng = Randkit.Rng.create ~seed:mode.Exp_common.seed in
+    let ws = Workspace.create () in
+    let per_cell = Workspace.per_cell ws (Partition.cell_count part) in
+    let z = ref 0. in
+    for _ = 1 to gc_trials do
+      let oracle = Poissonize.of_alias_ws ws (Randkit.Rng.split rng) alias in
+      let counts = oracle.Poissonize.poissonized gc_m in
+      let stat =
+        Chi2stat.compute ~per_cell ~counts ~m:gc_m ~dstar ~part ~eps ()
+      in
+      z := !z +. stat.Chi2stat.z
+    done;
+    !z
+  in
+  Gc.full_major ();
+  let z_pr1, minor_pr1, bytes_pr1 = gc_deltas pr1_arm in
+  Gc.full_major ();
+  let z_ws, minor_ws, bytes_ws = gc_deltas ws_arm in
+  let per_trial x = float_of_int x /. float_of_int gc_trials in
+  let minor_reduction =
+    per_trial minor_pr1 /. Float.max (per_trial minor_ws) (1. /. float_of_int gc_trials)
+  in
+  let alloc_reduction = bytes_pr1 /. Float.max 1. bytes_ws in
+  let z_match = z_pr1 = z_ws in
+  Exp_common.row
+    "@.chi^2 hot path, %d trials (m=%g, n=%d, %d cells):@." gc_trials gc_m n
+    (Partition.cell_count part);
+  Exp_common.row
+    "  allocating path: %5.2f minor GCs/trial, %7.2f MB/trial@."
+    (per_trial minor_pr1) (mb bytes_pr1 /. float_of_int gc_trials);
+  Exp_common.row
+    "  workspace path:  %5.2f minor GCs/trial, %7.2f MB/trial@."
+    (per_trial minor_ws) (mb bytes_ws /. float_of_int gc_trials);
+  Exp_common.row "  minor-GC reduction %.1fx | allocation reduction %.1fx@."
+    minor_reduction alloc_reduction;
+  if not z_match then
+    Exp_common.row "WARNING: workspace arm Z %.17g <> allocating arm Z %.17g@."
+      z_ws z_pr1;
+
+  (* 3. Throughput of a real tester workload across job counts.  Mirror
+     the pool's minor-heap policy on this domain first so jobs = 1 runs
+     under the same GC regime as the pooled arms. *)
+  let ctrl = Gc.get () in
+  if ctrl.Gc.minor_heap_size < Parkit.Pool.default_minor_heap_words then
+    Gc.set
+      { ctrl with Gc.minor_heap_size = Parkit.Pool.default_minor_heap_words };
   let trials = if mode.Exp_common.quick then 12 else 48 in
   let config = Exp_common.scaled_config 0.1 in
-  let decide oracle = Histotest.Hist_tester.test ~config oracle ~k ~eps in
+  let decide (trial : Harness.trial) =
+    Histotest.Hist_tester.test ~config ~ws:trial.Harness.ws
+      trial.Harness.oracle ~k ~eps
+  in
   let tester_arm pool () =
     let rng = Randkit.Rng.create ~seed:mode.Exp_common.seed in
-    accepts_of
-      (Harness.run_trials ~pool ~rng ~trials ~pmf (fun trial ->
-           decide trial.Harness.oracle))
+    accepts_of (Harness.run_trials ~pool ~rng ~trials ~pmf decide)
   in
   Exp_common.row "@.%d Algorithm-1 trials per job count:@." trials;
-  Exp_common.row "%5s | %10s | %12s | %10s@." "jobs" "time (s)" "trials/sec"
-    "accepts";
+  Exp_common.row "%5s | %10s | %12s | %10s | %9s | %9s@." "jobs" "time (s)"
+    "trials/sec" "accepts" "minor GCs" "alloc MB";
   Exp_common.hline ();
   let job_rows =
     List.map
       (fun jobs ->
-        let accepts, t =
-          Parkit.Pool.with_pool ~jobs (fun pool ->
-              Exp_common.wall_time_of (tester_arm pool))
+        let (accepts, t), dminor, dbytes =
+          gc_deltas (fun () ->
+              Parkit.Pool.with_pool ~jobs (fun pool ->
+                  Exp_common.wall_time_of (tester_arm pool)))
         in
         let rate = float_of_int trials /. Float.max 1e-9 t in
-        Exp_common.row "%5d | %10.3f | %12.1f | %7d/%d@." jobs t rate accepts
-          trials;
-        (jobs, t, rate, accepts))
+        Exp_common.row "%5d | %10.3f | %12.1f | %7d/%d | %9d | %9.1f@." jobs t
+          rate accepts trials dminor (mb dbytes);
+        if jobs > cores then
+          Exp_common.row
+            "WARNING: jobs=%d exceeds the %d recommended domains on this \
+             host — expect no speedup, only coordination overhead.@."
+            jobs cores;
+        (jobs, t, rate, accepts, dminor, dbytes))
       [ 1; 2; 4 ]
   in
   let base_accepts, base_rate =
     match job_rows with
-    | (_, _, r, a) :: _ -> (a, r)
+    | (_, _, r, a, _, _) :: _ -> (a, r)
     | [] -> (0, nan)
   in
   List.iter
-    (fun (jobs, _, _, a) ->
+    (fun (jobs, _, _, a, _, _) ->
       if a <> base_accepts then
         Exp_common.row "WARNING: jobs=%d accepts differ from jobs=1!@." jobs)
     job_rows;
+  let deterministic =
+    List.for_all (fun (_, _, _, a, _, _) -> a = base_accepts) job_rows
+    && accepts_rebuild = accepts_probe && z_match
+  in
   let json =
     Printf.sprintf
       "{\"bench\":\"e17_parallel\",\"n\":%d,\"k\":%d,\"eps\":%g,\"trials\":%d,\
-       \"seed\":%d,\"cores\":%d,\
-       \"alias_shared_speedup\":%.2f,\"deterministic\":%b,\"jobs\":[%s]}"
-      n k eps trials mode.Exp_common.seed
-      (Domain.recommended_domain_count ())
-      alias_speedup
-      (List.for_all (fun (_, _, _, a) -> a = base_accepts) job_rows
-      && accepts_rebuild = accepts_probe)
+       \"seed\":%d,\"cores_recommended\":%d,\
+       \"alias_shared_speedup\":%.2f,\
+       \"gc\":{\"trials\":%d,\"m\":%g,\"minor_per_trial_alloc\":%.2f,\
+       \"minor_per_trial_ws\":%.2f,\"minor_gc_reduction\":%.1f,\
+       \"mb_per_trial_alloc\":%.2f,\"mb_per_trial_ws\":%.2f,\
+       \"alloc_reduction\":%.1f,\"z_match\":%b},\
+       \"deterministic\":%b,\"jobs\":[%s]}"
+      n k eps trials mode.Exp_common.seed cores alias_speedup gc_trials gc_m
+      (per_trial minor_pr1) (per_trial minor_ws) minor_reduction
+      (mb bytes_pr1 /. float_of_int gc_trials)
+      (mb bytes_ws /. float_of_int gc_trials)
+      alloc_reduction z_match deterministic
       (String.concat ","
          (List.map
-            (fun (jobs, t, rate, _) ->
+            (fun (jobs, t, rate, _, dminor, dbytes) ->
               Printf.sprintf
                 "{\"jobs\":%d,\"seconds\":%.4f,\"trials_per_sec\":%.2f,\
-                 \"speedup\":%.3f}"
-                jobs t rate (rate /. base_rate))
+                 \"speedup\":%.3f,\"minor_collections\":%d,\
+                 \"allocated_mb\":%.1f,\"oversubscribed\":%b}"
+                jobs t rate (rate /. base_rate) dminor (mb dbytes)
+                (jobs > cores))
             job_rows))
   in
   let oc =

@@ -8,17 +8,20 @@ type outcome = {
 let budget ?(config = Config.default) ~n ~eps () =
   Config.test_samples config ~n ~eps
 
-let run ?(config = Config.default) ?cell_mask ?part oracle ~dstar ~eps =
+let run ?(config = Config.default) ?cell_mask ?part ?ws oracle ~dstar ~eps =
   if eps <= 0. || eps > 1. then invalid_arg "Adk15.run: eps outside (0, 1]";
   let n = Pmf.size dstar in
   if oracle.Poissonize.n <> n then
     invalid_arg "Adk15.run: oracle/hypothesis domain mismatch";
   let part = match part with Some p -> p | None -> Partition.trivial ~n in
+  let per_cell =
+    Option.map (fun w -> Workspace.per_cell w (Partition.cell_count part)) ws
+  in
   let m = Config.test_samples config ~n ~eps in
   let fm = float_of_int m in
   let counts = oracle.Poissonize.poissonized fm in
   let statistic =
-    Chi2stat.compute ?cell_mask ~counts ~m:fm ~dstar ~part ~eps ()
+    Chi2stat.compute ?cell_mask ?per_cell ~counts ~m:fm ~dstar ~part ~eps ()
   in
   let threshold = fm *. eps *. eps /. config.Config.z_threshold_div in
   let verdict =
@@ -26,11 +29,12 @@ let run ?(config = Config.default) ?cell_mask ?part oracle ~dstar ~eps =
   in
   { verdict; statistic; threshold; samples_used = m }
 
-let run_boosted ?(config = Config.default) ?cell_mask ?part ~reps oracle ~dstar
-    ~eps =
+let run_boosted ?(config = Config.default) ?cell_mask ?part ?ws ~reps oracle
+    ~dstar ~eps =
   if reps < 1 then invalid_arg "Adk15.run_boosted: reps < 1";
   let outcomes =
-    Array.init reps (fun _ -> run ~config ?cell_mask ?part oracle ~dstar ~eps)
+    Array.init reps (fun _ ->
+        run ~config ?cell_mask ?part ?ws oracle ~dstar ~eps)
   in
   let zs = Array.map (fun o -> o.statistic.Chi2stat.z) outcomes in
   let median_z = Numkit.Summary.median zs in

@@ -22,17 +22,23 @@ val run :
   ?config:Config.t ->
   ?cell_mask:bool array ->
   ?part:Partition.t ->
+  ?ws:Workspace.t ->
   Poissonize.oracle ->
   dstar:Pmf.t ->
   eps:float ->
   outcome
 (** One shot (2/3 confidence).  Default partition: the whole domain as one
-    cell. *)
+    cell.  With [ws] (the trial's workspace in the harness hot path) the
+    statistic's [per_cell] array is a view into the workspace, clobbered
+    by the next [ws]-carrying statistic on the same workspace — copy it
+    if the outcome outlives the trial; the verdict, [z] and threshold are
+    plain values and always safe. *)
 
 val run_boosted :
   ?config:Config.t ->
   ?cell_mask:bool array ->
   ?part:Partition.t ->
+  ?ws:Workspace.t ->
   reps:int ->
   Poissonize.oracle ->
   dstar:Pmf.t ->
@@ -40,4 +46,7 @@ val run_boosted :
   outcome * Chi2stat.t array
 (** Median-of-[reps] amplification of the statistic (§3.2.1's "repeating
     the test and taking the median value"); also returns the per-repetition
-    statistics so the sieve can take per-cell medians. *)
+    statistics so callers can take per-cell medians.  With [ws] every
+    returned statistic shares the one workspace buffer (only the last
+    repetition's per-cell values survive; the medianed [z] values are
+    unaffected) — omit [ws] when the per-cell breakdown matters. *)

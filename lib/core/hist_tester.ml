@@ -32,7 +32,7 @@ let plan ?(config = Config.default) ~n ~k ~eps () =
   in
   m_part + m_learn + m_sieve + m_final
 
-let run ?(config = Config.default) oracle ~k ~eps =
+let run ?(config = Config.default) ?ws oracle ~k ~eps =
   let n = oracle.Poissonize.n in
   if k < 1 || k > n then invalid_arg "Hist_tester.run: need 1 <= k <= n";
   if eps <= 0. || eps > 1. then
@@ -87,8 +87,8 @@ let run ?(config = Config.default) oracle ~k ~eps =
          at eps' = 13 eps / 30. *)
       let eps' = eps *. config.Config.test_eps_frac in
       let final =
-        Adk15.run ~config ~cell_mask:sieve.Sieve.kept ~part oracle ~dstar:dhat
-          ~eps:eps'
+        Adk15.run ~config ~cell_mask:sieve.Sieve.kept ~part ?ws oracle
+          ~dstar:dhat ~eps:eps'
       in
       {
         verdict = final.Adk15.verdict;
@@ -102,11 +102,11 @@ let run ?(config = Config.default) oracle ~k ~eps =
     end
   end
 
-let test ?config oracle ~k ~eps = (run ?config oracle ~k ~eps).verdict
+let test ?config ?ws oracle ~k ~eps = (run ?config ?ws oracle ~k ~eps).verdict
 
-let run_boosted ?config ?(reps = 3) oracle ~k ~eps =
+let run_boosted ?config ?ws ?(reps = 3) oracle ~k ~eps =
   if reps < 1 then invalid_arg "Hist_tester.run_boosted: reps < 1";
-  Amplify.majority_vote ~trials:reps (fun _ -> test ?config oracle ~k ~eps)
+  Amplify.majority_vote ~trials:reps (fun _ -> test ?config ?ws oracle ~k ~eps)
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>verdict: %a (decided at %s)@," Verdict.pp r.verdict

@@ -34,14 +34,36 @@ val plan : ?config:Config.t -> n:int -> k:int -> eps:float -> unit -> int
 (** Worst-case planned sample budget of a run with these parameters (the
     quantity the E3 comparison tabulates). *)
 
-val run : ?config:Config.t -> Poissonize.oracle -> k:int -> eps:float -> report
-(** Full run with per-stage diagnostics. *)
+val run :
+  ?config:Config.t ->
+  ?ws:Workspace.t ->
+  Poissonize.oracle ->
+  k:int ->
+  eps:float ->
+  report
+(** Full run with per-stage diagnostics.  [ws] — typically the trial's
+    workspace when running under [Harness] — makes the final statistic
+    write into reusable buffers; the report's [final] per-cell array is
+    then a workspace view (see {!Adk15.run}).  Verdicts and scalar fields
+    are unaffected and the sampled streams are identical either way. *)
 
-val test : ?config:Config.t -> Poissonize.oracle -> k:int -> eps:float -> Verdict.t
-(** Just the verdict. *)
+val test :
+  ?config:Config.t ->
+  ?ws:Workspace.t ->
+  Poissonize.oracle ->
+  k:int ->
+  eps:float ->
+  Verdict.t
+(** Just the verdict — with [ws] this is the allocation-free hot path the
+    experiment harness runs per trial. *)
 
 val run_boosted :
-  ?config:Config.t -> ?reps:int -> Poissonize.oracle -> k:int -> eps:float ->
+  ?config:Config.t ->
+  ?ws:Workspace.t ->
+  ?reps:int ->
+  Poissonize.oracle ->
+  k:int ->
+  eps:float ->
   Verdict.t
 (** Majority vote of [reps] independent runs (each drawing fresh samples):
     standard success-probability amplification of the 2/3 guarantee. *)

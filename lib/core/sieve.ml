@@ -16,20 +16,6 @@ type result = {
   log : round_log list;
 }
 
-let cell_medians ~reps ~oracle ~dhat ~part ~alpha ~m ~kept =
-  let kk = Partition.cell_count part in
-  let per_rep =
-    Array.init reps (fun _ ->
-        let counts = oracle.Poissonize.poissonized m in
-        let stat =
-          Chi2stat.compute ~cell_mask:kept ~counts ~m ~dstar:dhat ~part
-            ~eps:alpha ()
-        in
-        stat.Chi2stat.per_cell)
-  in
-  Array.init kk (fun j ->
-      Numkit.Summary.median (Array.init reps (fun r -> per_rep.(r).(j))))
-
 let run ?(config = Config.default) oracle ~dhat ~part ~eligible ~k ~eps =
   if k < 1 then invalid_arg "Sieve.run: k must be at least 1";
   if eps <= 0. || eps > 1. then invalid_arg "Sieve.run: eps outside (0, 1]";
@@ -49,6 +35,30 @@ let run ?(config = Config.default) oracle ~dhat ~part ~eligible ~k ~eps =
   let removed_count = ref 0 in
   let samples = ref 0 in
   let log = ref [] in
+  (* Per-repetition statistic rows and the median scratch column are
+     allocated once here and reused by every round: each row is handed to
+     [Chi2stat.compute] as its output buffer (which zeroes it), so the
+     O(rounds * reps) statistic evaluations — the sieve's entire sampling
+     cost — allocate nothing per cell.  The counts the oracle returns are
+     consumed within the repetition that drew them, so a workspace-backed
+     oracle is safe here. *)
+  let per_rep = Array.init reps (fun _ -> Array.make kk 0.) in
+  let med_column = Array.make reps 0. in
+  let meds = Array.make kk 0. in
+  let cell_medians () =
+    for r = 0 to reps - 1 do
+      let counts = oracle.Poissonize.poissonized m in
+      ignore
+        (Chi2stat.compute ~cell_mask:kept ~per_cell:per_rep.(r) ~counts ~m
+           ~dstar:dhat ~part ~eps:alpha ())
+    done;
+    for j = 0 to kk - 1 do
+      for r = 0 to reps - 1 do
+        med_column.(r) <- per_rep.(r).(j)
+      done;
+      meds.(j) <- Numkit.Summary.median med_column
+    done
+  in
   let sum_kept meds =
     Numkit.Kahan.sum_f kk (fun j -> if kept.(j) then meds.(j) else 0.)
   in
@@ -66,7 +76,7 @@ let run ?(config = Config.default) oracle ~dhat ~part ~eligible ~k ~eps =
   in
   try
     for round = 1 to rounds do
-      let meds = cell_medians ~reps ~oracle ~dhat ~part ~alpha ~m ~kept in
+      cell_medians ();
       samples := !samples + (reps * int_of_float m);
       let z_before = sum_kept meds in
       let removed_this_round = ref [] in

@@ -6,7 +6,13 @@
     shared read-only across trials — and across domains (see Parkit) — the
     harness relies on this to avoid rebuilding the O(n) table per trial.
     Only the [Randkit.Rng.t] handle passed to the draw functions is
-    mutated, so concurrent draws need only distinct generators. *)
+    mutated, so concurrent draws need only distinct generators.
+
+    The [_into] variants write into caller-supplied buffers (the per-domain
+    workspaces of the trial engine) and consume the **exact same generator
+    stream** as their allocating counterparts — a run is bit-identical
+    whichever variant it uses.  This contract is enforced by QCheck
+    properties in [test/test_distrib.ml]. *)
 
 type t
 
@@ -20,7 +26,19 @@ val draw_many : t -> Randkit.Rng.t -> int -> int array
 (** [m] iid samples.  Consumes the same generator stream as [m]
     successive [draw]s.  Allocates only the result array. *)
 
+val draw_many_into : t -> Randkit.Rng.t -> out:int array -> int -> unit
+(** [draw_many_into t rng ~out m] fills [out.(0) .. out.(m-1)] with [m]
+    iid samples — same stream as [draw_many t rng m], zero allocation.
+    Slots beyond [m] are left untouched.
+    @raise Invalid_argument if [m < 0] or [Array.length out < m]. *)
+
 val draw_counts : t -> Randkit.Rng.t -> int -> int array
 (** Occurrence counts N_i of [m] iid samples (multinomial).  Same
     generator stream as [m] successive [draw]s; allocates only the
     counts array. *)
+
+val draw_counts_into : t -> Randkit.Rng.t -> counts:int array -> int -> unit
+(** [draw_counts_into t rng ~counts m] zeroes [counts] and accumulates the
+    occurrence counts of [m] iid samples into it — same stream as
+    [draw_counts t rng m], zero allocation.
+    @raise Invalid_argument if [m < 0] or [Array.length counts <> size t]. *)

@@ -1,8 +1,10 @@
 (* A monitor-style work-sharing pool: one mutex, two conditions, and an
-   index counter workers race on.  Batches are coarse (one Monte-Carlo
-   trial per index), so a single lock around the claim counter is far from
-   contended; what matters is that results land in submission order and
-   that a [jobs = 1] pool is exactly a sequential loop. *)
+   index counter workers race on.  Workers claim *chunks* of contiguous
+   indices per mutex round-trip (grain configurable, defaulting to
+   ~total/(4*jobs)), so a batch of short tasks — the probe-style trials of
+   [min_samples] — costs O(jobs) lock handoffs instead of O(total).
+   Results still land in submission order and a [jobs = 1] pool is exactly
+   a sequential loop. *)
 
 type state = {
   mutex : Mutex.t;
@@ -11,6 +13,7 @@ type state = {
   mutable body : int -> unit;
   mutable next : int;  (* next unclaimed index of the current batch *)
   mutable total : int;
+  mutable chunk : int;  (* indices claimed per lock round-trip *)
   mutable completed : int;
   mutable generation : int;  (* bumped per batch so workers join it once *)
   mutable busy : bool;
@@ -19,9 +22,27 @@ type state = {
   mutable domains : unit Domain.t list;
 }
 
-type t = { jobs : int; state : state option }
+type t = { jobs : int; grain : int option; state : state option }
 
 let jobs t = t.jobs
+
+(* Mirrors the OCAMLRUNPARAM=s=8192k mitigation that DESIGN.md used to
+   recommend: OCaml 5's minor collections are stop-the-world across every
+   domain, so an allocating batch on a small default minor heap turns the
+   GC into a barrier that serializes the pool.  Workers (and the
+   submitting domain) enlarge their own minor heap at startup instead of
+   relying on an environment variable. *)
+let default_minor_heap_words = 8192 * 1024
+
+let enlarge_minor_heap words =
+  if words > 0 then begin
+    let params = Gc.get () in
+    if params.Gc.minor_heap_size < words then
+      Gc.set { params with Gc.minor_heap_size = words }
+  end
+
+let default_grain ~jobs ~total =
+  if jobs <= 1 then max 1 total else max 1 (total / (4 * jobs))
 
 (* True while this domain is executing a pool task: nested [map]/[init]
    calls fall back to a sequential loop instead of corrupting the batch
@@ -31,15 +52,21 @@ let in_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 (* Claim-and-run loop.  Called (and returns) with [st.mutex] held.  A
    raising body records the first exception and cancels the batch's
    unclaimed indices; every claimed index still counts toward
-   [completed], so the batch always drains. *)
+   [completed] (the rest of a chunk that raised mid-way is skipped but
+   counted), so the batch always drains. *)
 let drain st =
   let rec loop () =
     if st.next < st.total then begin
-      let i = st.next in
-      st.next <- st.next + 1;
+      let lo = st.next in
+      let hi = min st.total (lo + st.chunk) in
+      st.next <- hi;
       let body = st.body in
       Mutex.unlock st.mutex;
-      (match body i with
+      (match
+         for i = lo to hi - 1 do
+           body i
+         done
+       with
       | () -> Mutex.lock st.mutex
       | exception e ->
           let bt = Printexc.get_raw_backtrace () in
@@ -47,14 +74,15 @@ let drain st =
           if st.exn = None then st.exn <- Some (e, bt);
           st.completed <- st.completed + (st.total - st.next);
           st.next <- st.total);
-      st.completed <- st.completed + 1;
+      st.completed <- st.completed + (hi - lo);
       if st.completed >= st.total then Condition.broadcast st.work_done;
       loop ()
     end
   in
   loop ()
 
-let worker st () =
+let worker ~minor_heap_words st () =
+  enlarge_minor_heap minor_heap_words;
   Domain.DLS.set in_task true;
   let seen = ref 0 in
   Mutex.lock st.mutex;
@@ -69,10 +97,17 @@ let worker st () =
 
 let nop_body _ = ()
 
-let create ~jobs =
+let create ?grain ?(minor_heap_words = default_minor_heap_words) ~jobs () =
   if jobs <= 0 then invalid_arg "Pool.create: jobs must be positive";
-  if jobs = 1 then { jobs = 1; state = None }
+  (match grain with
+  | Some g when g <= 0 -> invalid_arg "Pool.create: grain must be positive"
+  | _ -> ());
+  if jobs = 1 then { jobs = 1; grain; state = None }
   else begin
+    (* The submitting domain participates in every batch, so it needs the
+       enlarged minor heap as much as the workers do — one domain filling
+       a small nursery stalls all of them. *)
+    enlarge_minor_heap minor_heap_words;
     let st =
       {
         mutex = Mutex.create ();
@@ -81,6 +116,7 @@ let create ~jobs =
         body = nop_body;
         next = 0;
         total = 0;
+        chunk = 1;
         completed = 0;
         generation = 0;
         busy = false;
@@ -89,11 +125,13 @@ let create ~jobs =
         domains = [];
       }
     in
-    st.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (worker st));
-    { jobs; state = Some st }
+    st.domains <-
+      List.init (jobs - 1) (fun _ ->
+          Domain.spawn (worker ~minor_heap_words st));
+    { jobs; grain; state = Some st }
   end
 
-let sequential = { jobs = 1; state = None }
+let sequential = { jobs = 1; grain = None; state = None }
 
 let shutdown t =
   match t.state with
@@ -113,7 +151,7 @@ let shutdown t =
    so a [create ~jobs] pool applies [jobs] domains to the batch.  If the
    pool is already mid-batch (a submission from another domain), degrade
    to a sequential loop rather than interleave two batches. *)
-let run st ~total body =
+let run st ~total ~chunk body =
   Mutex.lock st.mutex;
   if st.busy then begin
     Mutex.unlock st.mutex;
@@ -126,6 +164,7 @@ let run st ~total body =
     st.body <- body;
     st.next <- 0;
     st.total <- total;
+    st.chunk <- max 1 chunk;
     st.completed <- 0;
     st.exn <- None;
     st.generation <- st.generation + 1;
@@ -152,8 +191,13 @@ let map t f arr =
   | None -> Array.map f arr
   | Some _ when n <= 1 || Domain.DLS.get in_task -> Array.map f arr
   | Some st ->
+      let chunk =
+        match t.grain with
+        | Some g -> g
+        | None -> default_grain ~jobs:t.jobs ~total:n
+      in
       let results = Array.make n None in
-      run st ~total:n (fun i -> results.(i) <- Some (f arr.(i)));
+      run st ~total:n ~chunk (fun i -> results.(i) <- Some (f arr.(i)));
       Array.map (function Some v -> v | None -> assert false) results
 
 let init t n f =
@@ -176,7 +220,7 @@ let at_exit_registered = ref false
 
 let unsynchronized_set ~jobs =
   (match !default_pool with Some p -> shutdown p | None -> ());
-  let p = create ~jobs in
+  let p = create ~jobs () in
   default_pool := Some p;
   if not !at_exit_registered then begin
     at_exit_registered := true;
@@ -203,6 +247,6 @@ let set_default ~jobs =
       Mutex.unlock default_lock;
       raise e)
 
-let with_pool ~jobs f =
-  let pool = create ~jobs in
+let with_pool ?grain ?minor_heap_words ~jobs f =
+  let pool = create ?grain ?minor_heap_words ~jobs () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -7,6 +7,8 @@
     scheduling order in which indices happen to execute is invisible as
     long as the per-index work is independent (the harness guarantees this
     by pre-splitting one RNG per trial sequentially, before dispatch).
+    Chunked claiming changes only *where* indices run, never what any
+    index computes, so grain settings cannot affect results either.
 
     A [jobs = 1] pool degenerates to a plain sequential loop with no
     domains, no locks and no extra allocation, so callers can thread a
@@ -14,13 +16,34 @@
 
 type t
 
-val create : jobs:int -> t
+val create : ?grain:int -> ?minor_heap_words:int -> jobs:int -> unit -> t
 (** A pool running batches on [jobs] domains ([jobs - 1] spawned workers
-    plus the submitting domain).  [jobs] is clamped to at least 1; a
-    1-job pool spawns nothing and runs sequentially.
-    @raise Invalid_argument if [jobs <= 0]. *)
+    plus the submitting domain).  A 1-job pool spawns nothing, runs
+    sequentially, and leaves the GC alone.
+
+    [grain] fixes how many contiguous batch indices a domain claims per
+    mutex round-trip; when omitted each batch uses
+    [default_grain ~jobs ~total].
+
+    [minor_heap_words] (default [default_minor_heap_words], pass [0] to
+    disable) is applied via [Gc.set] to every worker domain *and* to the
+    calling domain when [jobs > 1]: OCaml 5 minor collections are
+    stop-the-world across all domains, so one domain with a small nursery
+    stalls the whole pool.  The setting is only ever an enlargement (a
+    domain whose minor heap is already at least this big is untouched)
+    and is not restored on [shutdown].
+    @raise Invalid_argument if [jobs <= 0] or [grain <= 0]. *)
 
 val jobs : t -> int
+
+val default_grain : jobs:int -> total:int -> int
+(** [max 1 (total / (4 * jobs))] — about four claim rounds per domain:
+    coarse enough that lock handoffs are negligible even for sub-millisecond
+    trial bodies, fine enough that uneven per-index cost still balances. *)
+
+val default_minor_heap_words : int
+(** 8192k words (64 MiB) per domain — the value DESIGN.md's
+    [OCAMLRUNPARAM=s=8192k] note recommended, now applied in-process. *)
 
 val sequential : t
 (** The shared 1-job pool: a plain loop, always safe. *)
@@ -44,8 +67,9 @@ val map : t -> ('a -> 'b) -> 'a array -> 'b array
     [f] must be safe to run concurrently with itself (no shared mutable
     state; immutable inputs such as alias tables and PMFs are fine).
     If any application raises, the first exception observed is re-raised
-    after the batch drains.  Calls nested inside a pool task run
-    sequentially instead of deadlocking. *)
+    after the batch drains (the unclaimed remainder is cancelled, the
+    rest of the raising chunk skipped).  Calls nested inside a pool task
+    run sequentially instead of deadlocking. *)
 
 val init : t -> int -> (int -> 'a) -> 'a array
 (** [init pool n f] is [map] over indices [0 .. n-1], in index order. *)
@@ -54,5 +78,5 @@ val shutdown : t -> unit
 (** Join the worker domains.  The pool must not be used afterwards;
     shutting down [sequential] or an already-shut pool is a no-op. *)
 
-val with_pool : jobs:int -> (t -> 'a) -> 'a
+val with_pool : ?grain:int -> ?minor_heap_words:int -> jobs:int -> (t -> 'a) -> 'a
 (** Create, run, and always shut down. *)

@@ -13,30 +13,24 @@ let split t =
 
 let bits64 = Xoshiro.next
 
-let int t bound =
+let[@inline] int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  if bound = 1 then 0
-  else begin
-    (* Rejection sampling on the top bits to avoid modulo bias. *)
-    let b = Int64.of_int bound in
-    let rec draw () =
-      let r = Int64.shift_right_logical (Xoshiro.next t) 1 in
-      (* r is uniform on [0, 2^63); reject the final partial block. *)
-      let max_fair = Int64.sub Int64.max_int (Int64.rem Int64.max_int b) in
-      if r >= max_fair then draw () else Int64.to_int (Int64.rem r b)
-    in
-    draw ()
-  end
+  (* Rejection sampling on the top bits (no modulo bias) — performed
+     inside Xoshiro so no boxed int64 crosses a function boundary. *)
+  if bound = 1 then 0 else Xoshiro.next_below t bound
 
 let int_in_range t ~lo ~hi =
   if lo > hi then invalid_arg "Rng.int_in_range: lo > hi";
   lo + int t (hi - lo + 1)
 
-let float t bound =
+let[@inline] float t bound =
   if bound <= 0. then invalid_arg "Rng.float: bound must be positive";
-  (* 53 uniform mantissa bits -> uniform in [0, 1). *)
-  let r = Int64.shift_right_logical (Xoshiro.next t) 11 in
-  Int64.to_float r *. (1. /. 9007199254740992.) *. bound
+  (* 53 uniform mantissa bits -> uniform in [0, 1).  [next_top53 t] is
+     below 2^53, so [float_of_int] of it equals [Int64.to_float] of the
+     historical 64-bit draw's top bits — values bit-identical.  Inlined
+     so hot call sites (the alias draw loop) consume the result
+     unboxed. *)
+  float_of_int (Xoshiro.next_top53 t) *. (1. /. 9007199254740992.) *. bound
 
 let unit_open t =
   (* Uniform in (0, 1): resample the measure-zero endpoint, which some

@@ -2,7 +2,7 @@ type t = { z : float; per_cell : float array; m : float }
 
 let heavy_cutoff ~eps ~n = eps /. (50. *. float_of_int n)
 
-let compute ?cell_mask ~counts ~m ~dstar ~part ~eps () =
+let compute ?cell_mask ?per_cell ~counts ~m ~dstar ~part ~eps () =
   let n = Pmf.size dstar in
   if Array.length counts <> n then
     invalid_arg "Chi2stat.compute: counts length mismatch";
@@ -15,26 +15,52 @@ let compute ?cell_mask ~counts ~m ~dstar ~part ~eps () =
   | _ -> ());
   let cutoff = heavy_cutoff ~eps ~n in
   let ds = Pmf.unsafe_array dstar in
-  let per_cell = Array.make kk 0. in
+  let per_cell =
+    match per_cell with
+    | None -> Array.make kk 0.
+    | Some buf ->
+        if Array.length buf <> kk then
+          invalid_arg "Chi2stat.compute: per_cell length mismatch";
+        Array.fill buf 0 kk 0.;
+        buf
+  in
+  (* One Neumaier accumulator — a flat float pair, (sum, comp) — reused
+     across cells, and one hoisted element visitor shared by every cell.
+     The previous per-cell [Kahan.create] records and, worse, the boxed
+     float argument of every cross-module [Kahan.add] call (n boxes per
+     statistic at n = 2^16) were the harness's dominant minor-heap
+     traffic; this loop allocates nothing per element or per cell while
+     performing bit-identical arithmetic (same compensation, same
+     element order). *)
+  let acc = [| 0.; 0. |] in
+  let visit i =
+    let dsi = Array.unsafe_get ds i in
+    (* A_eps truncation: elements where D* is tiny contribute huge
+       variance for no signal; the paper drops them. *)
+    if dsi >= cutoff then begin
+      let expected = m *. dsi in
+      let ni = float_of_int (Array.unsafe_get counts i) in
+      let d = ni -. expected in
+      let x = ((d *. d) -. ni) /. expected in
+      let sum = Array.unsafe_get acc 0 in
+      let comp = Array.unsafe_get acc 1 in
+      let s = sum +. x in
+      if Float.abs sum >= Float.abs x then
+        Array.unsafe_set acc 1 (comp +. ((sum -. s) +. x))
+      else Array.unsafe_set acc 1 (comp +. ((x -. s) +. sum));
+      Array.unsafe_set acc 0 s
+    end
+  in
   Partition.iteri
     (fun j cell ->
       let keep =
         match cell_mask with None -> true | Some mask -> mask.(j)
       in
       if keep then begin
-        let acc = Numkit.Kahan.create () in
-        Interval.iter
-          (fun i ->
-            (* A_eps truncation: elements where D* is tiny contribute huge
-               variance for no signal; the paper drops them. *)
-            if ds.(i) >= cutoff then begin
-              let expected = m *. ds.(i) in
-              let ni = float_of_int counts.(i) in
-              let d = ni -. expected in
-              Numkit.Kahan.add acc (((d *. d) -. ni) /. expected)
-            end)
-          cell;
-        per_cell.(j) <- Numkit.Kahan.total acc
+        acc.(0) <- 0.;
+        acc.(1) <- 0.;
+        Interval.iter visit cell;
+        per_cell.(j) <- acc.(0) +. acc.(1)
       end)
     part;
   let z = Numkit.Kahan.sum_array per_cell in

@@ -23,6 +23,7 @@ val heavy_cutoff : eps:float -> n:int -> float
 
 val compute :
   ?cell_mask:bool array ->
+  ?per_cell:float array ->
   counts:int array ->
   m:float ->
   dstar:Pmf.t ->
@@ -32,7 +33,13 @@ val compute :
   t
 (** Evaluate the statistic from Poissonized counts against the explicit
     hypothesis [dstar]; [cell_mask] restricts to the kept cells of the
-    sieved domain. *)
+    sieved domain.  When [per_cell] is supplied (length = cell count) it
+    is zeroed, used as the output buffer, and returned inside [t] — the
+    hot-path variant: combined with the single internal compensated
+    accumulator (no per-cell [Kahan.create], no per-term boxing) the call
+    allocates only the result record.  The caller owns the buffer's
+    lifetime; reusing it invalidates earlier results that alias it.
+    Arithmetic is bit-identical with and without the buffer. *)
 
 val accept_threshold : m:float -> eps:float -> float
 (** m·ε²/10 — the decision threshold sitting between the two expectation

@@ -1,4 +1,8 @@
-type trial = { rng : Randkit.Rng.t; oracle : Poissonize.oracle }
+type trial = {
+  rng : Randkit.Rng.t;
+  oracle : Poissonize.oracle;
+  ws : Workspace.t;
+}
 
 (* One generator per trial, split off *sequentially before dispatch*: the
    child streams — and therefore every trial's samples — are fixed by the
@@ -16,11 +20,17 @@ let run_trials ?pool ~rng ~trials ~pmf f =
     match pool with Some p -> p | None -> Parkit.Pool.get_default ()
   in
   (* The O(n) alias table depends only on the PMF: build it once and share
-     it read-only across all trials (and domains). *)
+     it read-only across all trials (and domains).  Each trial's oracle
+     draws into the workspace of whichever domain runs it — trials on a
+     domain run strictly in sequence, so the buffers are reused, not
+     raced — and the draw streams are fixed by the pre-split generators
+     alone, so results stay bit-identical at any job count. *)
   let alias = Alias.of_pmf pmf in
   let rngs = split_rngs ~rng ~trials in
   Parkit.Pool.map pool
-    (fun child -> f { rng = child; oracle = Poissonize.of_alias child alias })
+    (fun child ->
+      let ws = Workspace.domain_local () in
+      f { rng = child; oracle = Poissonize.of_alias_ws ws child alias; ws })
     rngs
 
 let accept_rate ?pool ~rng ~trials ~pmf decide =

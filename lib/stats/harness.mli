@@ -10,7 +10,19 @@
     bit-identical at any job count — trial [i] sees the same generator
     stream whether it runs first, last, or on another domain. *)
 
-type trial = { rng : Randkit.Rng.t; oracle : Poissonize.oracle }
+type trial = {
+  rng : Randkit.Rng.t;
+  oracle : Poissonize.oracle;
+      (** Workspace-backed ([Poissonize.of_alias_ws]): arrays it returns
+          are views into [ws], overwritten by the oracle's next call —
+          [Array.copy] anything retained across calls (or across trials).
+          The draw streams are identical to an allocating oracle's. *)
+  ws : Workspace.t;
+      (** The running domain's workspace, shared by every trial scheduled
+          onto that domain (strictly one at a time); testers accept it to
+          reuse per-cell statistic buffers too (e.g.
+          [Hist_tester.test ~ws]). *)
+}
 
 val run_trials :
   ?pool:Parkit.Pool.t ->
@@ -21,7 +33,7 @@ val run_trials :
   'a array
 (** Results are in trial order.  [f] runs concurrently with itself when
     the pool has more than one job: it must only mutate its own trial's
-    state (the trial's [rng], its oracle, locals). *)
+    state (the trial's [rng], its oracle and workspace, locals). *)
 
 val accept_rate :
   ?pool:Parkit.Pool.t ->

@@ -23,6 +23,18 @@ val of_alias : Randkit.Rng.t -> Alias.t -> oracle
 (** An oracle over a pre-built alias table.  The table is immutable and
     may be shared by any number of oracles across trials and domains;
     only [rng] is mutated by draws, so each concurrent oracle needs its
-    own generator. *)
+    own generator.  Every call allocates a fresh result array that the
+    caller may keep forever. *)
+
+val of_alias_ws : Workspace.t -> Randkit.Rng.t -> Alias.t -> oracle
+(** Like [of_alias], with the **exact same draw stream** for the same
+    generator, but allocation-free in the steady state: returned arrays
+    are views into [ws]'s reusable buffers, valid only until the oracle's
+    next call — [Array.copy] to retain.  Consequences: (1) the workspace
+    must not be shared with concurrently running code (the harness keeps
+    one per domain); (2) two oracles over the same workspace must not be
+    used side by side (e.g. [Closeness.run] needs its two oracles'
+    counts simultaneously — give them distinct workspaces or use
+    [of_alias]). *)
 
 val of_pmf_seeded : seed:int -> Pmf.t -> oracle

@@ -1,0 +1,33 @@
+(* Reusable per-trial scratch buffers.  Buffers are cached by exact length:
+   the harness runs thousands of trials with the same domain size n and the
+   same partition arity, so after the first trial on a domain every request
+   is a cache hit and the hot path allocates nothing. *)
+
+type t = {
+  mutable counts : int array;
+  mutable samples : int array;
+  mutable per_cell : float array;
+}
+
+let create () = { counts = [||]; samples = [||]; per_cell = [||] }
+
+let counts t n =
+  if n < 0 then invalid_arg "Workspace.counts: negative length";
+  if Array.length t.counts <> n then t.counts <- Array.make n 0;
+  t.counts
+
+let samples t m =
+  if m < 0 then invalid_arg "Workspace.samples: negative length";
+  if Array.length t.samples <> m then t.samples <- Array.make m 0;
+  t.samples
+
+let per_cell t k =
+  if k < 0 then invalid_arg "Workspace.per_cell: negative length";
+  if Array.length t.per_cell <> k then t.per_cell <- Array.make k 0.;
+  t.per_cell
+
+(* One workspace per domain, created lazily.  Trials scheduled onto the
+   same domain run strictly one after another, so they can all share it;
+   this turns the per-trial buffer cost into a per-domain one. *)
+let key : t Domain.DLS.key = Domain.DLS.new_key create
+let domain_local () = Domain.DLS.get key

@@ -463,6 +463,41 @@ let prop_draw_counts_is_fold_of_draw =
       done;
       batch = counts)
 
+(* The [_into] variants must be drop-in replacements: identical results
+   *and* identical RNG stream consumption, so a trial that switches to the
+   workspace path reproduces the allocating path bit for bit. *)
+
+let prop_draw_counts_into_same_stream =
+  QCheck.Test.make ~name:"draw_counts_into = draw_counts (same stream)"
+    ~count:100
+    (QCheck.triple arb_pmf (QCheck.int_range 0 500) gen_seed)
+    (fun (p, m, seed) ->
+      let a = Alias.of_pmf p in
+      let r1 = Randkit.Rng.create ~seed in
+      let r2 = Randkit.Rng.copy r1 in
+      let alloc = Alias.draw_counts a r1 m in
+      let counts = Array.make (Pmf.size p) (-1) in
+      Alias.draw_counts_into a r2 ~counts m;
+      alloc = counts
+      (* Same rng state afterwards: the next draw agrees too. *)
+      && Alias.draw a r1 = Alias.draw a r2)
+
+let prop_draw_many_into_same_stream =
+  QCheck.Test.make ~name:"draw_many_into = draw_many (same stream)"
+    ~count:100
+    (QCheck.triple arb_pmf (QCheck.int_range 0 500) gen_seed)
+    (fun (p, m, seed) ->
+      let a = Alias.of_pmf p in
+      let r1 = Randkit.Rng.create ~seed in
+      let r2 = Randkit.Rng.copy r1 in
+      let alloc = Alias.draw_many a r1 m in
+      (* Oversized buffer: only the first m slots may be written. *)
+      let out = Array.make (m + 3) (-1) in
+      Alias.draw_many_into a r2 ~out m;
+      Array.sub out 0 m = alloc
+      && Array.sub out m 3 = [| -1; -1; -1 |]
+      && Alias.draw a r1 = Alias.draw a r2)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "distrib"
@@ -489,6 +524,8 @@ let () =
           qc prop_draw_counts_sums_to_m;
           qc prop_draw_many_is_fold_of_draw;
           qc prop_draw_counts_is_fold_of_draw;
+          qc prop_draw_counts_into_same_stream;
+          qc prop_draw_many_into_same_stream;
         ] );
       ( "distance",
         [

@@ -5,9 +5,25 @@
 let test_create_invalid () =
   Alcotest.(check bool) "jobs <= 0 rejected" true
     (try
-       ignore (Parkit.Pool.create ~jobs:0);
+       ignore (Parkit.Pool.create ~jobs:0 ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "grain <= 0 rejected" true
+    (try
+       ignore (Parkit.Pool.create ~grain:0 ~jobs:2 ());
        false
      with Invalid_argument _ -> true)
+
+let test_default_grain () =
+  (* ~4 claim rounds per domain, never below 1. *)
+  Alcotest.(check int) "100/4 jobs" 6
+    (Parkit.Pool.default_grain ~jobs:4 ~total:100);
+  Alcotest.(check int) "small batch floors at 1" 1
+    (Parkit.Pool.default_grain ~jobs:8 ~total:5);
+  Alcotest.(check int) "sequential takes everything" 40
+    (Parkit.Pool.default_grain ~jobs:1 ~total:40);
+  Alcotest.(check int) "empty batch" 1
+    (Parkit.Pool.default_grain ~jobs:4 ~total:0)
 
 let test_map_matches_array_map () =
   let input = Array.init 97 (fun i -> i) in
@@ -21,6 +37,25 @@ let test_map_matches_array_map () =
             expected
             (Parkit.Pool.map pool f input)))
     [ 1; 2; 4 ]
+
+let test_grain_does_not_change_results () =
+  (* Grain 1 (index-at-a-time), a middling grain, and one larger than the
+     whole batch must all give Array.map. *)
+  let input = Array.init 53 (fun i -> i) in
+  let f x = (3 * x) - 7 in
+  let expected = Array.map f input in
+  List.iter
+    (fun grain ->
+      Parkit.Pool.with_pool ~grain ~jobs:4 (fun pool ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "grain=%d map" grain)
+            expected
+            (Parkit.Pool.map pool f input);
+          Alcotest.(check (array int))
+            (Printf.sprintf "grain=%d init" grain)
+            [| 0; 1; 4; 9; 16 |]
+            (Parkit.Pool.init pool 5 (fun i -> i * i))))
+    [ 1; 7; 1000 ]
 
 let test_init_ordered () =
   Parkit.Pool.with_pool ~jobs:3 (fun pool ->
@@ -75,6 +110,25 @@ let test_exception_propagates () =
             (Parkit.Pool.init pool 3 (fun i -> i))))
     [ 1; 3 ]
 
+let test_exception_propagates_chunked () =
+  (* Exception handling must work whatever the chunk shape: the raising
+     index may sit at a chunk boundary or deep inside one. *)
+  List.iter
+    (fun grain ->
+      Parkit.Pool.with_pool ~grain ~jobs:3 (fun pool ->
+          Alcotest.(check bool)
+            (Printf.sprintf "raises at grain=%d" grain)
+            true
+            (try
+               ignore
+                 (Parkit.Pool.init pool 16 (fun i ->
+                      if i = 11 then raise (Boom i) else i));
+               false
+             with Boom 11 -> true);
+          Alcotest.(check (array int)) "pool still works" [| 0; 1; 2 |]
+            (Parkit.Pool.init pool 3 (fun i -> i))))
+    [ 1; 4; 100 ]
+
 let test_default_jobs_positive () =
   Alcotest.(check bool) "at least one" true (Parkit.Pool.default_jobs () >= 1)
 
@@ -92,8 +146,11 @@ let () =
       ( "pool",
         [
           Alcotest.test_case "create invalid" `Quick test_create_invalid;
+          Alcotest.test_case "default_grain" `Quick test_default_grain;
           Alcotest.test_case "map = Array.map" `Quick
             test_map_matches_array_map;
+          Alcotest.test_case "grain invariance" `Quick
+            test_grain_does_not_change_results;
           Alcotest.test_case "init ordered" `Quick test_init_ordered;
           Alcotest.test_case "empty and singleton" `Quick
             test_empty_and_singleton;
@@ -101,6 +158,8 @@ let () =
           Alcotest.test_case "nested map" `Quick test_nested_map_no_deadlock;
           Alcotest.test_case "exception propagates" `Quick
             test_exception_propagates;
+          Alcotest.test_case "exception propagates (chunked)" `Quick
+            test_exception_propagates_chunked;
           Alcotest.test_case "default jobs" `Quick test_default_jobs_positive;
           Alcotest.test_case "set_default" `Quick test_set_default;
         ] );

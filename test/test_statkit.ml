@@ -129,6 +129,65 @@ let test_accept_threshold () =
   Alcotest.(check (float 1e-12)) "m eps^2 / 10" 10.
     (Chi2stat.accept_threshold ~m:1000. ~eps:0.31622776601683794)
 
+let test_chi2_supplied_per_cell () =
+  (* Passing [~per_cell] must change nothing about the numbers — same z,
+     same per-cell values — while the returned statistic physically reuses
+     the supplied buffer. *)
+  let n = 48 in
+  let o = Poissonize.of_pmf (rng ()) (Families.zipf ~n ~s:1.) in
+  let part = Partition.equal_width ~n ~cells:6 in
+  let counts = o.Poissonize.poissonized 4000. in
+  let dstar = Pmf.uniform n in
+  let fresh = Chi2stat.compute ~counts ~m:4000. ~dstar ~part ~eps:0.3 () in
+  let buf = Array.make 6 nan in
+  let reused =
+    Chi2stat.compute ~per_cell:buf ~counts ~m:4000. ~dstar ~part ~eps:0.3 ()
+  in
+  Alcotest.(check (float 0.)) "same z" fresh.Chi2stat.z reused.Chi2stat.z;
+  Alcotest.(check bool) "same per-cell values" true
+    (fresh.Chi2stat.per_cell = reused.Chi2stat.per_cell);
+  Alcotest.(check bool) "buffer physically reused" true
+    (reused.Chi2stat.per_cell == buf);
+  Alcotest.(check bool) "wrong length rejected" true
+    (try
+       ignore
+         (Chi2stat.compute ~per_cell:(Array.make 5 0.) ~counts ~m:4000. ~dstar
+            ~part ~eps:0.3 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Workspace-backed oracles --- *)
+
+let test_ws_oracle_matches_allocating () =
+  (* [of_alias_ws] must consume the RNG stream exactly like [of_alias]:
+     same counts, same samples, same generator state afterwards. *)
+  let pmf = Families.zipf ~n:64 ~s:1.2 in
+  let alias = Alias.of_pmf pmf in
+  let r1 = rng () in
+  let r2 = rng () in
+  let a = Poissonize.of_alias r1 alias in
+  let ws = Workspace.create () in
+  let w = Poissonize.of_alias_ws ws r2 alias in
+  Alcotest.(check bool) "exact identical" true
+    (a.Poissonize.exact 300 = Array.copy (w.Poissonize.exact 300));
+  Alcotest.(check bool) "poissonized identical" true
+    (a.Poissonize.poissonized 250. = Array.copy (w.Poissonize.poissonized 250.));
+  Alcotest.(check bool) "stream identical" true
+    (a.Poissonize.stream 100 = Array.copy (w.Poissonize.stream 100));
+  Alcotest.(check bool) "rng state identical after" true
+    (a.Poissonize.exact 10 = Array.copy (w.Poissonize.exact 10))
+
+let test_ws_oracle_reuses_buffers () =
+  let pmf = Pmf.uniform 32 in
+  let ws = Workspace.create () in
+  let o = Poissonize.of_alias_ws ws (rng ()) (Alias.of_pmf pmf) in
+  let c1 = o.Poissonize.exact 100 in
+  let c2 = o.Poissonize.exact 100 in
+  Alcotest.(check bool) "same physical counts buffer" true (c1 == c2);
+  let s1 = o.Poissonize.stream 50 in
+  let s2 = o.Poissonize.stream 50 in
+  Alcotest.(check bool) "same physical samples buffer" true (s1 == s2)
+
 (* --- Verdict / Amplify --- *)
 
 let test_verdict_majority () =
@@ -254,7 +313,7 @@ let reference_trials ~seed ~trials ~pmf f =
   Array.init trials (fun _ ->
       let child = Randkit.Rng.split rng in
       let oracle = Poissonize.of_pmf child pmf in
-      f { Harness.rng = child; oracle })
+      f { Harness.rng = child; oracle; ws = Workspace.create () })
 
 let parity_decide (trial : Harness.trial) =
   let counts = trial.Harness.oracle.Poissonize.exact 200 in
@@ -290,9 +349,13 @@ let test_accept_rate_jobs_invariant () =
 
 let test_run_trials_jobs_invariant () =
   (* Element-wise equality of the full per-trial output, not just an
-     aggregate: each trial's counts vector must match the reference. *)
+     aggregate: each trial's counts vector must match the reference.  The
+     copy is required: the harness oracle is workspace-backed, so the
+     array it returns is overwritten by the next trial on the domain. *)
   let pmf = Families.staircase ~n:256 ~k:4 ~rng:(rng ()) in
-  let collect (trial : Harness.trial) = trial.Harness.oracle.Poissonize.exact 500 in
+  let collect (trial : Harness.trial) =
+    Array.copy (trial.Harness.oracle.Poissonize.exact 500)
+  in
   let reference = reference_trials ~seed:7 ~trials:12 ~pmf collect in
   List.iter
     (fun jobs ->
@@ -346,6 +409,24 @@ let test_median_value_jobs_invariant () =
         = Amplify.majority_vote ~pool ~trials:9 (fun i ->
               if i mod 3 = 0 then Verdict.Reject else Verdict.Accept)))
 
+
+let test_chunked_scheduling_jobs_invariant () =
+  (* Chunk grain decides only which domain runs which indices; the frozen
+     accept-rate pin must hold for any grain at any job count. *)
+  let pmf = Families.zipf ~n:64 ~s:1.0 in
+  let trials = 40 in
+  List.iter
+    (fun grain ->
+      Parkit.Pool.with_pool ~grain ~jobs:4 (fun pool ->
+          let rate =
+            Harness.accept_rate ~pool
+              ~rng:(Randkit.Rng.create ~seed:31337)
+              ~trials ~pmf parity_decide
+          in
+          Alcotest.(check (float 0.))
+            (Printf.sprintf "grain=%d reproduces pin" grain)
+            0.4 rate))
+    [ 1; 3; 1000 ]
 
 (* --- Budget_oracle --- *)
 
@@ -510,6 +591,15 @@ let () =
           Alcotest.test_case "A_eps truncation" `Quick
             test_chi2_truncation_excludes_tiny;
           Alcotest.test_case "accept threshold" `Quick test_accept_threshold;
+          Alcotest.test_case "supplied per_cell buffer" `Quick
+            test_chi2_supplied_per_cell;
+        ] );
+      ( "workspace",
+        [
+          Alcotest.test_case "ws oracle = allocating oracle" `Quick
+            test_ws_oracle_matches_allocating;
+          Alcotest.test_case "ws oracle reuses buffers" `Quick
+            test_ws_oracle_reuses_buffers;
         ] );
       ( "amplify",
         [
@@ -563,5 +653,7 @@ let () =
             test_min_samples_jobs_invariant;
           Alcotest.test_case "median/majority jobs-invariant" `Quick
             test_median_value_jobs_invariant;
+          Alcotest.test_case "chunked scheduling jobs-invariant" `Quick
+            test_chunked_scheduling_jobs_invariant;
         ] );
     ]
