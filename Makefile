@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench-smoke bench-parallel bench clean
+.PHONY: all build test lint bench-smoke bench-parallel bench clean
 
 all: build
 
@@ -9,6 +9,13 @@ build:
 
 test:
 	dune runtest
+
+# Static invariants: histolint scans the compiled typedtrees
+# (_build/default/**/*.cmt) for determinism and float-discipline
+# violations (see DESIGN.md "Static invariants").  Non-zero exit on any
+# unsuppressed error-severity finding.
+lint:
+	dune build @lint
 
 # One quick experiment per family (E1 accuracy sweep, E10 ablation, E17
 # parallel engine): CI-style verification that harness changes did not

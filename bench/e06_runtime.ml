@@ -50,13 +50,16 @@ let benchmark tests =
              ~predictors:[| Measure.run |])
           Toolkit.Instance.monotonic_clock raw
       in
-      Hashtbl.iter
-        (fun name ols ->
-          match Analyze.OLS.estimates ols with
-          | Some (t :: _) ->
-              Exp_common.row "  %-24s %12.3f ms/run@." name (t /. 1e6)
-          | _ -> Exp_common.row "  %-24s (no estimate)@." name)
-        results)
+      (* Bechamel hands back a Hashtbl; sort by test name so the report
+         order is deterministic, not hash-bucket order (histolint:
+         det/hashtbl-order). *)
+      Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> List.iter (fun (name, ols) ->
+             match Analyze.OLS.estimates ols with
+             | Some (t :: _) ->
+                 Exp_common.row "  %-24s %12.3f ms/run@." name (t /. 1e6)
+             | _ -> Exp_common.row "  %-24s (no estimate)@." name))
     tests
 
 let run (mode : Exp_common.mode) =

@@ -1,0 +1,76 @@
+(* histolint — static analysis over the compiled typedtrees.
+
+   Usage:  histolint [options] [PATH...]
+   PATHs are .cmt files or directories searched recursively (default:
+   _build/default, falling back to the current directory).  Exits 1 when
+   any unsuppressed error-severity finding remains; --strict promotes
+   warnings to failures too. *)
+
+let usage = "histolint [--json] [--strict] [--lib-prefix P] [--rules] [PATH...]"
+
+let () =
+  let json = ref false in
+  let strict = ref false in
+  let show_rules = ref false in
+  let lib_prefixes = ref [] in
+  let paths = ref [] in
+  let spec =
+    [
+      ("--json", Arg.Set json, " emit the report as one JSON object");
+      ( "--strict",
+        Arg.Set strict,
+        " exit non-zero on warnings as well as errors" );
+      ( "--lib-prefix",
+        Arg.String (fun p -> lib_prefixes := p :: !lib_prefixes),
+        "P treat source paths under prefix P as lib/ code (repeatable)" );
+      ("--rules", Arg.Set show_rules, " list the rule set and exit");
+    ]
+  in
+  Arg.parse (Arg.align spec) (fun p -> paths := p :: !paths) usage;
+  if !show_rules then begin
+    List.iter
+      (fun r ->
+        Printf.printf "%-25s %-8s %s\n"
+          (Histolint_lib.Rules.name r)
+          (Histolint_lib.Rules.severity_name (Histolint_lib.Rules.severity r))
+          (Histolint_lib.Rules.describe r))
+      Histolint_lib.Rules.all;
+    exit 0
+  end;
+  let paths =
+    match List.rev !paths with
+    | [] -> if Sys.file_exists "_build/default" then [ "_build/default" ] else [ "." ]
+    | ps -> ps
+  in
+  let config =
+    { Histolint_lib.Engine.lib_prefixes = List.rev !lib_prefixes }
+  in
+  let report = Histolint_lib.Engine.scan_paths config paths in
+  let errors = Histolint_lib.Engine.errors report in
+  let warnings = Histolint_lib.Engine.warnings report in
+  if !json then begin
+    let objects fs =
+      String.concat "," (List.map Histolint_lib.Finding.to_json fs)
+    in
+    Printf.printf
+      "{\"findings\":[%s],\"suppressed\":[%s],\"errors\":%d,\"warnings\":%d}\n"
+      (objects report.Histolint_lib.Engine.findings)
+      (objects report.Histolint_lib.Engine.suppressed)
+      errors warnings
+  end
+  else begin
+    List.iter
+      (fun f -> print_endline (Histolint_lib.Finding.to_human f))
+      report.Histolint_lib.Engine.findings;
+    List.iter
+      (fun f ->
+        Printf.printf "%s (suppressed by [@histolint.allow])\n"
+          (Histolint_lib.Finding.to_human f))
+      report.Histolint_lib.Engine.suppressed;
+    Printf.printf "histolint: %d error%s, %d warning%s, %d suppressed\n" errors
+      (if errors = 1 then "" else "s")
+      warnings
+      (if warnings = 1 then "" else "s")
+      (List.length report.Histolint_lib.Engine.suppressed)
+  end;
+  if errors > 0 || (!strict && warnings > 0) then exit 1

@@ -57,7 +57,7 @@ let run ?(config = Config.default) ?ws oracle ~k ~eps =
   in
   let sieve = Sieve.run ~config oracle ~dhat ~part ~eligible ~k ~eps in
   let samples_so_far = samples_so_far + sieve.Sieve.samples_used in
-  if sieve.Sieve.verdict = Verdict.Reject then
+  if Verdict.equal sieve.Sieve.verdict Verdict.Reject then
     {
       verdict = Verdict.Reject;
       decided_at = Sieving;

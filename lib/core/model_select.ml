@@ -20,7 +20,7 @@ let run ?(config = Config.default) ?(boost = 3) ~make_oracle ~k_max ~eps () =
           report.Hist_tester.verdict)
     in
     probes := (k, verdict) :: !probes;
-    verdict = Verdict.Accept
+    Verdict.equal verdict Verdict.Accept
   in
   let k_hat = Numkit.Search.doubling_first_true ~start:1 ~limit:k_max accepts in
   { k_hat; probes = List.rev !probes; samples_used = !samples }

@@ -121,7 +121,7 @@ let run ?(config = Config.default) oracle ~dhat ~part ~eligible ~k ~eps =
       let order =
         List.init kk (fun j -> j)
         |> List.filter (fun j -> kept.(j) && eligible.(j))
-        |> List.sort (fun a b -> compare meds.(b) meds.(a))
+        |> List.sort (fun a b -> Float.compare meds.(b) meds.(a))
       in
       let residual = ref z_mid in
       let this_round = ref 0 in

@@ -84,7 +84,8 @@ let cells_of_pmf ?mask pmf =
     end
   in
   for i = 1 to n - 1 do
-    if p.(i) <> p.(i - 1) || kept i <> kept (i - 1) then flush i
+    if (not (Float.equal p.(i) p.(i - 1))) || kept i <> kept (i - 1) then
+      flush i
   done;
   flush n;
   Array.of_list (List.rev !runs)
@@ -125,7 +126,8 @@ let witness ?mask pmf ~k =
     end
   in
   for i = 1 to n - 1 do
-    if p.(i) <> p.(i - 1) || kept i <> kept (i - 1) then assign i
+    if (not (Float.equal p.(i) p.(i - 1))) || kept i <> kept (i - 1) then
+      assign i
   done;
   assign n;
   let breaks =

@@ -74,7 +74,7 @@ let top_coefficients ~b coeffs =
     end
   in
   let order = Array.init n (fun i -> i) in
-  Array.sort (fun a bq -> compare (weight bq) (weight a)) order;
+  Array.sort (fun a bq -> Float.compare (weight bq) (weight a)) order;
   let keep = Array.make n false in
   for r = 0 to min b n - 1 do
     keep.(order.(r)) <- true
@@ -94,4 +94,6 @@ let synopsis ?(clip = true) pmf ~b =
   Khist.of_pmf approx
 
 let nonzero_count coeffs =
-  Array.fold_left (fun acc c -> if c <> 0. then acc + 1 else acc) 0 coeffs
+  Array.fold_left
+    (fun acc c -> if not (Float.equal c 0.) then acc + 1 else acc)
+    0 coeffs

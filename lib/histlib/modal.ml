@@ -1,15 +1,18 @@
 type direction = Up | Down
 
+let same_direction a b =
+  match (a, b) with Up, Up | Down, Down -> true | _ -> false
+
 let direction_changes pmf =
   let p = Pmf.unsafe_array pmf in
   let changes = ref 0 in
   let last = ref None in
   for i = 1 to Array.length p - 1 do
-    let d = compare p.(i) p.(i - 1) in
+    let d = Float.compare p.(i) p.(i - 1) in
     if d <> 0 then begin
       let dir = if d > 0 then Up else Down in
       (match !last with
-      | Some prev when prev <> dir -> incr changes
+      | Some prev when not (same_direction prev dir) -> incr changes
       | _ -> ());
       last := Some dir
     end

@@ -1,0 +1,318 @@
+type config = { lib_prefixes : string list }
+
+let default_config = { lib_prefixes = [] }
+
+type report = { findings : Finding.t list; suppressed : Finding.t list }
+
+let empty_report = { findings = []; suppressed = [] }
+
+let merge a b =
+  { findings = a.findings @ b.findings; suppressed = a.suppressed @ b.suppressed }
+
+let count sev r =
+  List.length
+    (List.filter
+       (fun f -> Rules.severity_equal (Rules.severity f.Finding.rule) sev)
+       r)
+
+let errors r = count Rules.Error r.findings
+let warnings r = count Rules.Warn r.findings
+
+(* --- path normalization ----------------------------------------------- *)
+
+let normalize_source path =
+  let path =
+    if String.length path >= 2 && String.equal (String.sub path 0 2) "./" then
+      String.sub path 2 (String.length path - 2)
+    else path
+  in
+  (* Compilation under dune records paths relative to the build context
+     root; strip a leading _build/<context>/ if present so scope
+     classification sees lib/..., bin/..., etc. *)
+  let strip_build p =
+    let parts = String.split_on_char '/' p in
+    match parts with
+    | "_build" :: _context :: rest -> String.concat "/" rest
+    | _ -> p
+  in
+  strip_build path
+
+(* --- identifier classification ---------------------------------------- *)
+
+(* [Path.name] renders the resolved path: an unqualified [compare] is
+   "Stdlib.compare", [Random.int] is "Stdlib.Random.int".  Normalize by
+   dropping the [Stdlib] head (and the "Stdlib__Foo" flattened spelling)
+   so rule tables read naturally. *)
+let normalize_ident s =
+  let parts = String.split_on_char '.' s in
+  let parts =
+    match parts with
+    | "Stdlib" :: rest -> rest
+    | head :: rest
+      when String.length head > 8
+           && String.equal (String.sub head 0 8) "Stdlib__" ->
+        String.sub head 8 (String.length head - 8) :: rest
+    | parts -> parts
+  in
+  String.concat "." parts
+
+let unordered_hashtbl_ops =
+  [
+    "Hashtbl.iter";
+    "Hashtbl.fold";
+    "Hashtbl.to_seq";
+    "Hashtbl.to_seq_keys";
+    "Hashtbl.to_seq_values";
+  ]
+
+let wallclock_ops = [ "Sys.time"; "Unix.gettimeofday"; "Unix.time" ]
+let poly_compare_ops = [ "compare"; "="; "<>"; "min"; "max" ]
+
+(* --- type classification for poly-compare rules ------------------------ *)
+
+type arg_class =
+  | At_float of string  (* float, or a float container *)
+  | At_structural of string  (* non-immediate: tuples, records, ... *)
+  | At_benign  (* int/bool/char/unit, strings, boxed ints *)
+  | At_unknown  (* still polymorphic at the use site *)
+
+let rec classify_type ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, args, _) ->
+      if Path.same p Predef.path_float then At_float "float"
+      else if Path.same p Predef.path_floatarray then At_float "floatarray"
+      else if Path.same p Predef.path_int || Path.same p Predef.path_bool
+              || Path.same p Predef.path_char || Path.same p Predef.path_unit
+              || Path.same p Predef.path_string
+              || Path.same p Predef.path_bytes
+              || Path.same p Predef.path_int32
+              || Path.same p Predef.path_int64
+              || Path.same p Predef.path_nativeint
+      then At_benign
+      else if Path.same p Predef.path_array || Path.same p Predef.path_list
+              || Path.same p Predef.path_option
+      then (
+        let container = normalize_ident (Path.name p) in
+        match args with
+        | [ elt ] -> (
+            match classify_type elt with
+            | At_float elt_name ->
+                At_float (Printf.sprintf "%s %s" elt_name container)
+            | _ -> At_structural container)
+        | _ -> At_structural container)
+      else At_structural (normalize_ident (Path.name p))
+  | Types.Ttuple _ -> At_structural "tuple"
+  | Types.Tarrow _ -> At_structural "function"
+  | Types.Tvar _ | Types.Tunivar _ -> At_unknown
+  | _ -> At_unknown
+
+let first_arg_type ty =
+  match Types.get_desc ty with
+  | Types.Tarrow (_, a, _, _) -> Some a
+  | _ -> None
+
+(* --- suppression ([@histolint.allow "rule"]) --------------------------- *)
+
+type allow = {
+  allow_rules : string list;
+  allow_file : string;
+  allow_from : int;  (* char offsets; [allow_to = max_int] for floating *)
+  allow_to : int;
+}
+
+let payload_strings (payload : Parsetree.payload) =
+  let rec strings_of (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Parsetree.Pexp_constant (Parsetree.Pconst_string (s, _, _)) -> [ s ]
+    | Parsetree.Pexp_tuple es -> List.concat_map strings_of es
+    | _ -> []
+  in
+  match payload with
+  | Parsetree.PStr items ->
+      List.concat_map
+        (fun (it : Parsetree.structure_item) ->
+          match it.pstr_desc with
+          | Parsetree.Pstr_eval (e, _) -> strings_of e
+          | _ -> [])
+        items
+  | _ -> []
+
+let allows_of_attributes ~(range : Location.t) attrs =
+  List.filter_map
+    (fun (attr : Parsetree.attribute) ->
+      if String.equal attr.attr_name.txt "histolint.allow" then
+        match payload_strings attr.attr_payload with
+        | [] -> None
+        | rules ->
+            Some
+              {
+                allow_rules = rules;
+                allow_file = normalize_source range.loc_start.pos_fname;
+                allow_from = range.loc_start.pos_cnum;
+                allow_to = range.loc_end.pos_cnum;
+              }
+      else None)
+    attrs
+
+let allow_matches allow ~file ~cnum ~rule_name =
+  String.equal allow.allow_file file
+  && cnum >= allow.allow_from
+  && cnum <= allow.allow_to
+  && List.exists
+       (fun r -> String.equal r rule_name || String.equal r "*")
+       allow.allow_rules
+
+(* --- the walk ----------------------------------------------------------- *)
+
+type ctx = {
+  scope : Rules.scope;
+  fallback_file : string;
+  mutable raw : (Finding.t * int) list;  (* finding, char offset *)
+  mutable allows : allow list;
+}
+
+let add_finding ctx rule (loc : Location.t) message =
+  if Rules.applies rule ctx.scope then begin
+    let file =
+      if String.equal loc.loc_start.pos_fname "" then ctx.fallback_file
+      else normalize_source loc.loc_start.pos_fname
+    in
+    let finding =
+      {
+        Finding.file;
+        line = loc.loc_start.pos_lnum;
+        col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+        rule;
+        message;
+      }
+    in
+    ctx.raw <- (finding, loc.loc_start.pos_cnum) :: ctx.raw
+  end
+
+let check_ident ctx path (loc : Location.t) ty =
+  let id = normalize_ident (Path.name path) in
+  let starts_with prefix =
+    String.length id >= String.length prefix
+    && String.equal (String.sub id 0 (String.length prefix)) prefix
+  in
+  if starts_with "Random." then
+    add_finding ctx Rules.Det_stdlib_random loc
+      (Printf.sprintf
+         "`%s`: randomness must flow through Randkit (lib/rng) so trial \
+          streams stay seedable and splittable"
+         id)
+  else if List.exists (String.equal id) unordered_hashtbl_ops then
+    add_finding ctx Rules.Det_hashtbl_order loc
+      (Printf.sprintf
+         "`%s` iterates in hash-bucket order; sort the keys or use an array"
+         id)
+  else if List.exists (String.equal id) wallclock_ops then
+    add_finding ctx Rules.Det_wallclock loc
+      (Printf.sprintf "`%s` reads the wall clock; timing belongs in bench/" id)
+  else if String.equal id "Domain.spawn" then
+    add_finding ctx Rules.Par_raw_domain loc
+      "`Domain.spawn` outside lib/parallel bypasses Parkit.Pool and its \
+       pre-split RNG discipline"
+  else if List.exists (String.equal id) poly_compare_ops then
+    match Option.map classify_type (first_arg_type ty) with
+    | Some (At_float at) ->
+        add_finding ctx Rules.Float_poly_compare loc
+          (Printf.sprintf
+             "polymorphic `%s` instantiated at %s: NaN-hostile and boxes on \
+              hot paths; use the Float module's monomorphic equivalent"
+             id at)
+    | Some (At_structural at) ->
+        add_finding ctx Rules.Poly_compare_structural loc
+          (Printf.sprintf
+             "polymorphic `%s` instantiated at a non-immediate type (%s); \
+              prefer a monomorphic compare"
+             id at)
+    | Some At_benign | Some At_unknown | None -> ()
+
+let iterator ctx =
+  let default = Tast_iterator.default_iterator in
+  let expr sub (e : Typedtree.expression) =
+    ctx.allows <-
+      allows_of_attributes ~range:e.exp_loc e.exp_attributes @ ctx.allows;
+    (match e.exp_desc with
+    | Typedtree.Texp_ident (path, lid, _) ->
+        check_ident ctx path lid.loc e.exp_type
+    | _ -> ());
+    default.expr sub e
+  in
+  let value_binding sub (vb : Typedtree.value_binding) =
+    ctx.allows <-
+      allows_of_attributes ~range:vb.vb_loc vb.vb_attributes @ ctx.allows;
+    default.value_binding sub vb
+  in
+  let structure_item sub (si : Typedtree.structure_item) =
+    (match si.str_desc with
+    | Typedtree.Tstr_attribute attr ->
+        (* Floating [@@@histolint.allow]: suppress to end of file. *)
+        let range =
+          { si.str_loc with loc_end = { si.str_loc.loc_end with pos_cnum = max_int } }
+        in
+        ctx.allows <- allows_of_attributes ~range [ attr ] @ ctx.allows
+    | _ -> ());
+    default.structure_item sub si
+  in
+  { default with expr; value_binding; structure_item }
+
+(* --- cmt loading -------------------------------------------------------- *)
+
+let scan_cmt config path =
+  match (try Some (Cmt_format.read_cmt path) with _ -> None) with
+  | None ->
+      Printf.eprintf "histolint: warning: cannot read %s\n%!" path;
+      empty_report
+  | Some cmt -> (
+      match (cmt.Cmt_format.cmt_annots, cmt.Cmt_format.cmt_sourcefile) with
+      | Cmt_format.Implementation structure, Some source ->
+          let source = normalize_source source in
+          let scope =
+            Rules.scope_of_path ~lib_prefixes:config.lib_prefixes source
+          in
+          let ctx =
+            { scope; fallback_file = source; raw = []; allows = [] }
+          in
+          let it = iterator ctx in
+          it.structure it structure;
+          let live, suppressed =
+            List.partition
+              (fun (finding, cnum) ->
+                not
+                  (List.exists
+                     (fun allow ->
+                       allow_matches allow ~file:finding.Finding.file ~cnum
+                         ~rule_name:(Rules.name finding.Finding.rule))
+                     ctx.allows))
+              ctx.raw
+          in
+          {
+            findings = List.map fst live;
+            suppressed = List.map fst suppressed;
+          }
+      | _ -> empty_report)
+
+(* --- recursive scan ----------------------------------------------------- *)
+
+let rec collect_cmts acc path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then
+      Sys.readdir path |> Array.to_list
+      |> List.sort String.compare
+      |> List.fold_left (fun acc e -> collect_cmts acc (Filename.concat path e)) acc
+    else if Filename.check_suffix path ".cmt" then path :: acc
+    else acc
+  else acc
+
+let scan_paths config paths =
+  let cmts = List.fold_left collect_cmts [] paths |> List.sort String.compare in
+  let report =
+    List.fold_left (fun acc cmt -> merge acc (scan_cmt config cmt)) empty_report
+      cmts
+  in
+  {
+    findings = List.sort_uniq Finding.compare report.findings;
+    suppressed = List.sort_uniq Finding.compare report.suppressed;
+  }

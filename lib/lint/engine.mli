@@ -1,0 +1,45 @@
+(** The histolint engine: loads compiled typedtrees ([.cmt] files,
+    via [compiler-libs.common]), walks them with a [Tast_iterator],
+    and reports rule violations.
+
+    Working on the *typedtree* rather than source text means the
+    checks see resolved paths (a locally-rebound [compare] is not
+    flagged; [Stdlib.Random.int] is flagged however it is spelled) and
+    the instantiated type of every polymorphic comparison — which is
+    what lets [float/poly-compare] distinguish [Array.sort compare]
+    on a [float array] from the same call on an [int array].
+
+    Suppression: a [[@histolint.allow "rule"]] attribute on an
+    expression or a [let]-binding suppresses matching findings inside
+    that node; a floating [[@@@histolint.allow "rule"]] suppresses the
+    rest of the file.  Suppressed findings are still returned (audit
+    trail), just separated from live ones. *)
+
+type config = {
+  lib_prefixes : string list;
+      (** extra path prefixes classified as [lib/] — the linter's own
+          fixture tree uses this; empty by default *)
+}
+
+val default_config : config
+
+type report = {
+  findings : Finding.t list;  (** live findings, sorted *)
+  suppressed : Finding.t list;  (** suppressed by an allow attribute, sorted *)
+}
+
+val empty_report : report
+val merge : report -> report -> report
+
+val errors : report -> int
+val warnings : report -> int
+
+val scan_cmt : config -> string -> report
+(** Lint one [.cmt] file.  Files that are unreadable, interface-only,
+    or whose source path cannot be classified produce an empty
+    report. *)
+
+val scan_paths : config -> string list -> report
+(** Recursively collect [.cmt] files under each path (directories are
+    walked in sorted order, so reports are deterministic) and lint
+    them all. *)

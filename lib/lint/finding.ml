@@ -1,0 +1,46 @@
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : Rules.t;
+  message : string;
+}
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else String.compare (Rules.name a.rule) (Rules.name b.rule)
+
+let to_human t =
+  Printf.sprintf "%s:%d:%d: %s [%s] %s" t.file t.line t.col
+    (Rules.severity_name (Rules.severity t.rule))
+    (Rules.name t.rule) t.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  Printf.sprintf
+    "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"severity\":\"%s\",\"message\":\"%s\"}"
+    (json_escape t.file) t.line t.col (Rules.name t.rule)
+    (Rules.severity_name (Rules.severity t.rule))
+    (json_escape t.message)

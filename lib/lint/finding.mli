@@ -1,0 +1,21 @@
+(** A single histolint finding: file/line/column, the rule, and a
+    human message.  Findings order deterministically (file, line, col,
+    rule name) so reports and golden tests are stable. *)
+
+type t = {
+  file : string;  (** repo-relative source path *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as in compiler locations *)
+  rule : Rules.t;
+  message : string;
+}
+
+val compare : t -> t -> int
+val to_human : t -> string
+(** [file:line:col: severity [rule] message] — one line. *)
+
+val to_json : t -> string
+(** One JSON object, no trailing newline. *)
+
+val json_escape : string -> string
+(** Minimal JSON string escaping (quotes, backslashes, control chars). *)

@@ -1,0 +1,91 @@
+type severity = Warn | Error
+
+type t =
+  | Det_stdlib_random
+  | Det_hashtbl_order
+  | Det_wallclock
+  | Float_poly_compare
+  | Poly_compare_structural
+  | Par_raw_domain
+
+type scope = Lib | Lib_parallel | Bin | Test | Bench | Other
+
+let all =
+  [
+    Det_stdlib_random;
+    Det_hashtbl_order;
+    Det_wallclock;
+    Float_poly_compare;
+    Poly_compare_structural;
+    Par_raw_domain;
+  ]
+
+let name = function
+  | Det_stdlib_random -> "det/stdlib-random"
+  | Det_hashtbl_order -> "det/hashtbl-order"
+  | Det_wallclock -> "det/wallclock"
+  | Float_poly_compare -> "float/poly-compare"
+  | Poly_compare_structural -> "poly/compare-structural"
+  | Par_raw_domain -> "par/raw-domain"
+
+let of_name s = List.find_opt (fun r -> String.equal (name r) s) all
+
+let severity = function
+  | Poly_compare_structural -> Warn
+  | Det_stdlib_random | Det_hashtbl_order | Det_wallclock | Float_poly_compare
+  | Par_raw_domain ->
+      Error
+
+let severity_name = function Warn -> "warning" | Error -> "error"
+
+let severity_equal a b =
+  match (a, b) with Warn, Warn | Error, Error -> true | _ -> false
+
+let describe = function
+  | Det_stdlib_random ->
+      "Stdlib.Random outside test/+bench/ breaks seedable, splittable \
+       randomness; use Randkit (lib/rng)"
+  | Det_hashtbl_order ->
+      "Hashtbl.iter/fold/to_seq in lib/ iterate in hash-bucket order, which \
+       is not deterministic across key sets; sort or use arrays"
+  | Det_wallclock ->
+      "Sys.time/Unix.gettimeofday in lib/ make outputs depend on the wall \
+       clock; timing belongs in bench/"
+  | Float_poly_compare ->
+      "polymorphic =/<>/compare/min/max at float is NaN-hostile and boxes on \
+       hot paths; use Float.compare/Float.equal/Float.min/Float.max"
+  | Poly_compare_structural ->
+      "polymorphic comparison at a non-immediate type walks structure, boxes, \
+       and can raise on closures; prefer a monomorphic compare"
+  | Par_raw_domain ->
+      "Domain.spawn outside lib/parallel bypasses Parkit.Pool and its \
+       pre-split RNG discipline"
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let scope_of_path ~lib_prefixes path =
+  let path =
+    if has_prefix ~prefix:"./" path then
+      String.sub path 2 (String.length path - 2)
+    else path
+  in
+  if List.exists (fun p -> has_prefix ~prefix:p path) lib_prefixes then Lib
+  else if has_prefix ~prefix:"lib/parallel/" path then Lib_parallel
+  else if has_prefix ~prefix:"lib/" path then Lib
+  else if has_prefix ~prefix:"bin/" path then Bin
+  else if has_prefix ~prefix:"test/" path then Test
+  else if has_prefix ~prefix:"bench/" path then Bench
+  else Other
+
+let applies rule scope =
+  match (rule, scope) with
+  | Det_stdlib_random, (Lib | Lib_parallel | Bin) -> true
+  | Det_hashtbl_order, (Lib | Lib_parallel) -> true
+  | Det_wallclock, (Lib | Lib_parallel) -> true
+  | Float_poly_compare, (Lib | Lib_parallel | Bin) -> true
+  | Poly_compare_structural, (Lib | Lib_parallel | Bin) -> true
+  (* lib/parallel is the one place allowed to spawn domains. *)
+  | Par_raw_domain, (Lib | Bin) -> true
+  | _, _ -> false

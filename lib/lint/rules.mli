@@ -1,0 +1,56 @@
+(** The histolint rule set, v1.
+
+    Each rule names one static invariant of the determinism / float
+    discipline that the runtime QCheck pins cannot enforce by
+    construction.  Rules are scoped: most bite only in production code
+    (`lib/`, `bin/`), because `test/` and `bench/` legitimately use
+    wall clocks and ad-hoc randomness. *)
+
+type severity = Warn | Error
+
+type t =
+  | Det_stdlib_random
+      (** [Stdlib.Random] outside [test/]+[bench/]: all randomness must
+          flow through [lib/rng] so streams are seedable and
+          splittable. *)
+  | Det_hashtbl_order
+      (** [Hashtbl.iter]/[fold]/[to_seq] in [lib/]: iteration order is
+          hash-bucket order, which is not part of any contract. *)
+  | Det_wallclock
+      (** [Sys.time]/[Unix.gettimeofday] in [lib/]: wall-clock reads
+          make outputs run-dependent. *)
+  | Float_poly_compare
+      (** Polymorphic [=]/[<>]/[compare]/[min]/[max] instantiated at
+          [float] (or float containers): NaN-hostile semantics and
+          boxing on hot paths.  Use [Float.compare]/[Float.equal]. *)
+  | Poly_compare_structural
+      (** Polymorphic comparison at a non-immediate type (tuples,
+          records, abstract types): walks structure, boxes, and can
+          raise on functional values.  Warn-level. *)
+  | Par_raw_domain
+      (** [Domain.spawn] outside [lib/parallel]: all parallelism goes
+          through [Parkit.Pool] so the pre-split-RNG discipline
+          holds. *)
+
+(** Where a compilation unit lives, derived from its source path. *)
+type scope = Lib | Lib_parallel | Bin | Test | Bench | Other
+
+val all : t list
+val name : t -> string
+
+val of_name : string -> t option
+(** Inverse of [name]; used to validate suppression attributes. *)
+
+val severity : t -> severity
+val severity_name : severity -> string
+val severity_equal : severity -> severity -> bool
+
+val describe : t -> string
+(** One-line rationale, shown by [histolint --rules]. *)
+
+val scope_of_path : lib_prefixes:string list -> string -> scope
+(** Classify a (normalized, repo-relative) source path.  Paths under
+    any of [lib_prefixes] are classified [Lib] even when they live
+    elsewhere — the linter's own test fixtures use this. *)
+
+val applies : t -> scope -> bool

@@ -37,10 +37,10 @@ let bisect_float ~lo ~hi ~eps f =
   if lo >= hi then invalid_arg "Search.bisect_float: lo >= hi";
   if eps <= 0. then invalid_arg "Search.bisect_float: eps <= 0";
   let flo = f lo in
-  if flo = 0. then lo
+  if Float.equal flo 0. then lo
   else begin
     let fhi = f hi in
-    if fhi = 0. then hi
+    if Float.equal fhi 0. then hi
     else if flo *. fhi > 0. then
       invalid_arg "Search.bisect_float: no sign change on [lo, hi]"
     else begin
@@ -48,7 +48,7 @@ let bisect_float ~lo ~hi ~eps f =
       while !hi -. !lo > eps do
         let mid = 0.5 *. (!lo +. !hi) in
         let fmid = f mid in
-        if fmid = 0. then begin
+        if Float.equal fmid 0. then begin
           lo := mid;
           hi := mid
         end

@@ -112,7 +112,7 @@ let normal_quantile p =
 let log_poisson_pmf ~mean k =
   if mean < 0. then invalid_arg "Special.log_poisson_pmf: negative mean";
   if k < 0 then neg_infinity
-  else if mean = 0. then if k = 0 then 0. else neg_infinity
+  else if Float.equal mean 0. then if k = 0 then 0. else neg_infinity
   else (float_of_int k *. log mean) -. mean -. log_factorial k
 
 let poisson_pmf ~mean k = exp (log_poisson_pmf ~mean k)
@@ -122,7 +122,7 @@ let poisson_pmf ~mean k = exp (log_poisson_pmf ~mean k)
 let gamma_p a x =
   if a <= 0. then invalid_arg "Special.gamma_p: a must be positive";
   if x < 0. then invalid_arg "Special.gamma_p: x must be nonnegative";
-  if x = 0. then 0.
+  if Float.equal x 0. then 0.
   else if x < a +. 1. then begin
     (* Series representation. *)
     let sum = ref (1. /. a) in
@@ -166,5 +166,5 @@ let gamma_p a x =
 
 let poisson_cdf ~mean k =
   if k < 0 then 0.
-  else if mean = 0. then 1.
+  else if Float.equal mean 0. then 1.
   else 1. -. gamma_p (float_of_int k +. 1.) mean

@@ -40,7 +40,8 @@ let quantile a q =
   if Array.length a = 0 then invalid_arg "Summary.quantile: empty array";
   if q < 0. || q > 1. then invalid_arg "Summary.quantile: q outside [0, 1]";
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  (* Float.compare: monomorphic (no boxing) and a total order on NaN. *)
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   if n = 1 then sorted.(0)
   else
@@ -56,7 +57,7 @@ let median a = quantile a 0.5
 let median_int a =
   if Array.length a = 0 then invalid_arg "Summary.median_int: empty array";
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   sorted.(Array.length sorted / 2)
 
 let prefix_sums a =

@@ -85,7 +85,7 @@ let median t =
   | None -> ( match Heap.peek t.upper with Some (v, _) -> v | None -> nan)
 
 let cost t =
-  if total_weight t = 0. then 0.
+  if Float.equal (total_weight t) 0. then 0.
   else begin
     let m = median t in
     (* lower side: sum w*(m - v); upper side: sum w*(v - m). *)

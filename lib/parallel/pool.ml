@@ -71,7 +71,7 @@ let drain st =
       | exception e ->
           let bt = Printexc.get_raw_backtrace () in
           Mutex.lock st.mutex;
-          if st.exn = None then st.exn <- Some (e, bt);
+          if Option.is_none st.exn then st.exn <- Some (e, bt);
           st.completed <- st.completed + (st.total - st.next);
           st.next <- st.total);
       st.completed <- st.completed + (hi - lo);

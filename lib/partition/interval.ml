@@ -21,7 +21,7 @@ let intersect a b =
   let lo = max a.lo b.lo and hi = min a.hi b.hi in
   if lo >= hi then None else Some { lo; hi }
 
-let disjoint a b = intersect a b = None
+let disjoint a b = Option.is_none (intersect a b)
 let adjacent a b = a.hi = b.lo || b.hi = a.lo
 
 let union_adjacent a b =

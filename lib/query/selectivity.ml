@@ -38,7 +38,9 @@ type report = {
 }
 
 let evaluate pmf khist queries =
-  if queries = [] then invalid_arg "Selectivity.evaluate: no queries";
+  (match queries with
+  | [] -> invalid_arg "Selectivity.evaluate: no queries"
+  | _ :: _ -> ());
   let abs_errors = List.map (absolute_error pmf khist) queries in
   let rel_errors =
     List.filter_map
@@ -52,7 +54,8 @@ let evaluate pmf khist queries =
     mean_abs = Numkit.Summary.mean_of arr;
     max_abs = Array.fold_left Float.max 0. arr;
     mean_rel =
-      (if rel_errors = [] then nan
-       else Numkit.Summary.mean_of (Array.of_list rel_errors));
+      (match rel_errors with
+      | [] -> nan
+      | _ :: _ -> Numkit.Summary.mean_of (Array.of_list rel_errors));
     queries = List.length queries;
   }

@@ -14,14 +14,14 @@ let gaussian rng ~mu ~sigma =
     let u = (2. *. Rng.float rng 1.) -. 1. in
     let v = (2. *. Rng.float rng 1.) -. 1. in
     let s = (u *. u) +. (v *. v) in
-    if s >= 1. || s = 0. then draw ()
+    if s >= 1. || Float.equal s 0. then draw ()
     else u *. sqrt (-2. *. log s /. s)
   in
   mu +. (sigma *. draw ())
 
 let geometric rng ~p =
   if p <= 0. || p > 1. then invalid_arg "Sampler.geometric: p outside (0, 1]";
-  if p = 1. then 0
+  if Float.equal p 1. then 0
   else
     (* Inversion: floor(log U / log(1-p)) counts failures before success. *)
     int_of_float (floor (log (Rng.unit_open rng) /. log (1. -. p)))
@@ -64,15 +64,15 @@ let poisson_ptrs rng mean =
 
 let poisson rng ~mean =
   if mean < 0. then invalid_arg "Sampler.poisson: negative mean";
-  if mean = 0. then 0
+  if Float.equal mean 0. then 0
   else if mean < 30. then poisson_small rng mean
   else poisson_ptrs rng mean
 
 let rec binomial rng ~n ~p =
   if n < 0 then invalid_arg "Sampler.binomial: n must be nonnegative";
   if p < 0. || p > 1. then invalid_arg "Sampler.binomial: p outside [0, 1]";
-  if p = 0. || n = 0 then 0
-  else if p = 1. then n
+  if Float.equal p 0. || n = 0 then 0
+  else if Float.equal p 1. then n
   else if p > 0.5 then n - binomial_complement rng ~n ~p:(1. -. p)
   else binomial_complement rng ~n ~p
 

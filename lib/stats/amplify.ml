@@ -18,7 +18,7 @@ let majority_vote ?(pool = Parkit.Pool.sequential) ~trials f =
   let verdicts = Parkit.Pool.init pool trials f in
   let accepts =
     Array.fold_left
-      (fun acc v -> if v = Verdict.Accept then acc + 1 else acc)
+      (fun acc v -> if Verdict.equal v Verdict.Accept then acc + 1 else acc)
       0 verdicts
   in
   if 2 * accepts > trials then Verdict.Accept else Verdict.Reject

@@ -1,19 +1,38 @@
 type t = { prevalences : (int * int) list; samples : int }
 
+(* Deterministic by construction: sort the positive counts and
+   run-length encode, instead of tallying into a Hashtbl whose
+   iteration order is hash-bucket order (histolint: det/hashtbl-order). *)
 let of_counts counts =
-  let tally = Hashtbl.create 16 in
   let samples = ref 0 in
+  let npos = ref 0 in
   Array.iter
     (fun c ->
       samples := !samples + c;
-      if c > 0 then
-        Hashtbl.replace tally c (1 + Option.value ~default:0 (Hashtbl.find_opt tally c)))
+      if c > 0 then incr npos)
     counts;
-  let prevalences =
-    Hashtbl.fold (fun mult count acc -> (mult, count) :: acc) tally []
-    |> List.sort compare
-  in
-  { prevalences; samples = !samples }
+  let pos = Array.make !npos 0 in
+  let j = ref 0 in
+  Array.iter
+    (fun c ->
+      if c > 0 then begin
+        pos.(!j) <- c;
+        incr j
+      end)
+    counts;
+  Array.sort Int.compare pos;
+  let prevalences = ref [] in
+  let i = ref (!npos - 1) in
+  while !i >= 0 do
+    let m = pos.(!i) in
+    let run_end = ref !i in
+    while !run_end >= 0 && pos.(!run_end) = m do
+      decr run_end
+    done;
+    prevalences := (m, !i - !run_end) :: !prevalences;
+    i := !run_end
+  done;
+  { prevalences = !prevalences; samples = !samples }
 
 let samples t = t.samples
 let prevalence t mult =

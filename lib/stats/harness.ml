@@ -37,7 +37,7 @@ let accept_rate ?pool ~rng ~trials ~pmf decide =
   let verdicts = run_trials ?pool ~rng ~trials ~pmf decide in
   let accepts =
     Array.fold_left
-      (fun acc v -> if v = Verdict.Accept then acc + 1 else acc)
+      (fun acc v -> if Verdict.equal v Verdict.Accept then acc + 1 else acc)
       0 verdicts
   in
   float_of_int accepts /. float_of_int trials

@@ -48,7 +48,9 @@ let insert t x =
         (* New maximum: exact rank. *)
         List.rev_append before [ { v = x; g = 1; delta = 0 } ]
     | hd :: _ when x < hd.v ->
-        let delta = if before = [] then 0 else max 0 (band - 1) in
+        let delta =
+          match before with [] -> 0 | _ :: _ -> max 0 (band - 1)
+        in
         List.rev_append before ({ v = x; g = 1; delta } :: after)
     | hd :: tl -> place (hd :: before) tl
   in

@@ -1,0 +1,4 @@
+(* A violation suppressed by [@@histolint.allow ...]: must be absent
+   from the findings list but present in the suppressed audit trail. *)
+
+let blessed () = Stdlib.Random.int 6 [@@histolint.allow "det/stdlib-random"]

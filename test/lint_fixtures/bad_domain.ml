@@ -1,0 +1,4 @@
+(* Deliberate par/raw-domain violation: parallelism must go through
+   Parkit.Pool so the pre-split-RNG discipline holds. *)
+
+let fire f = Domain.spawn f

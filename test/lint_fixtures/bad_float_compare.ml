@@ -1,0 +1,4 @@
+(* Deliberate float/poly-compare violation: polymorphic compare
+   instantiated at float. *)
+
+let sort_in_place (a : float array) = Array.sort compare a

@@ -1,0 +1,5 @@
+(* Deliberate det/hashtbl-order violation: fold visits hash buckets in
+   an order that is not part of any contract. *)
+
+let total (tbl : (string, int) Hashtbl.t) =
+  Hashtbl.fold (fun _ v acc -> v + acc) tbl 0

@@ -1,0 +1,4 @@
+(* Deliberate poly/compare-structural violation: polymorphic compare at
+   a tuple type (warn-level). *)
+
+let sort_pairs (xs : (int * string) list) = List.sort compare xs

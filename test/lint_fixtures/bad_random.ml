@@ -1,0 +1,4 @@
+(* Deliberate det/stdlib-random violation: randomness must flow through
+   Randkit (lib/rng) so trial streams stay seedable and splittable. *)
+
+let roll () = Stdlib.Random.int 6

@@ -1,0 +1,3 @@
+(* Deliberate det/wallclock violation: wall-clock reads belong in bench/. *)
+
+let stamp () = Sys.time ()

@@ -129,6 +129,26 @@ let test_median_int () =
   Alcotest.(check int) "odd" 3 (Numkit.Summary.median_int [| 5; 1; 3 |]);
   Alcotest.(check int) "even upper" 4 (Numkit.Summary.median_int [| 1; 2; 4; 9 |])
 
+(* Regression pins for the Array.sort compare -> Float.compare switch
+   (histolint: float/poly-compare): identical outputs on unsorted input,
+   duplicates, negative zeros, and infinities. *)
+let test_quantile_pins () =
+  let a = [| 3.5; -1.25; 7.; 0.; 3.5; -1.25; 2. |] in
+  check_float "pin q0" (-1.25) (Numkit.Summary.quantile a 0.);
+  check_float "pin q25" (-0.625) (Numkit.Summary.quantile a 0.25);
+  check_float "pin median" 2. (Numkit.Summary.quantile a 0.5);
+  check_close 1e-12 "pin q60" 2.9 (Numkit.Summary.quantile a 0.6);
+  check_float "pin q75" 3.5 (Numkit.Summary.quantile a 0.75);
+  check_float "pin q1" 7. (Numkit.Summary.quantile a 1.);
+  check_float "pin singleton" 42. (Numkit.Summary.quantile [| 42. |] 0.9);
+  (* -0. sorts before +0. under Float.compare, exactly as under the old
+     polymorphic compare; the interpolated median is still zero. *)
+  check_float "pin signed zero" 0. (Numkit.Summary.quantile [| 0.; -0. |] 0.5);
+  (* Huge magnitudes order correctly and the q=0.5 rank needs no
+     interpolation, so the extremes never enter the arithmetic. *)
+  check_float "pin extremes" 1.
+    (Numkit.Summary.quantile [| 1e300; -1e300; 1. |] 0.5)
+
 let test_prefix_sums () =
   let p = Numkit.Summary.prefix_sums [| 1.; 2.; 3. |] in
   Alcotest.(check (array (float 1e-12))) "prefix" [| 0.; 1.; 3.; 6. |] p
@@ -290,6 +310,7 @@ let () =
           Alcotest.test_case "moments" `Quick test_summary_moments;
           Alcotest.test_case "empty" `Quick test_summary_empty;
           Alcotest.test_case "quantile" `Quick test_quantile;
+          Alcotest.test_case "quantile pins" `Quick test_quantile_pins;
           Alcotest.test_case "median_int" `Quick test_median_int;
           Alcotest.test_case "prefix_sums" `Quick test_prefix_sums;
           Alcotest.test_case "argmax" `Quick test_argmax;
