@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint bench-smoke bench-parallel bench clean
+.PHONY: all build test lint bench-smoke bench-parallel bench-closest bench clean
 
 all: build
 
@@ -27,6 +27,13 @@ bench-smoke:
 # (cores_recommended, per-job GC deltas, speedups) to BENCH_parallel.json.
 bench-parallel:
 	dune exec bench/main.exe -- e17
+
+# The checking-DP benchmark alone: dense K^2 reference vs the
+# divide-and-conquer fast path, appending one machine-readable line
+# (build/query/DP split, speedups, exact_match per row) to
+# BENCH_closest.json.  Quick mode sweeps K <= 2048; --full goes to 8192.
+bench-closest:
+	dune exec bench/main.exe -- e18
 
 bench:
 	dune exec bench/main.exe

@@ -96,4 +96,5 @@ let run (mode : Exp_common.mode) =
   Exp_common.row
     "@.Expected shape: adk15 scales ~sqrt(n) per quadrupling, check-dp@.";
   Exp_common.row
-    "~K^2, and the full pipeline's s/sqrt(n) column is roughly flat.@."
+    "~K log^2 K (the d&c fast path; dense was ~K^2), and the full@.";
+  Exp_common.row "pipeline's s/sqrt(n) column is roughly flat.@."

@@ -1,0 +1,176 @@
+(* E18 — the checking DP off the K^2 wall: dense reference vs
+   divide-and-conquer closest-H_k DP (no new paper claim; this is the
+   perf trajectory of Step 10 and everything built on it — Model_select
+   doubling probes, E12 selectivity sweeps, the E13/E14 ledgers).
+
+   For each (K, k): a zipf pmf flattened to K constant cells, then
+
+     build   — Numkit.Rank_index construction over the K cells
+               (O(K log K), the one-time cost the fast path pays);
+     query   — mean latency of a single seg_cost call over a fixed
+               deterministic batch of random segments (the O(log K)
+               oracle the DP drives);
+     D&C     — Closest.fit_cells, the monotone-argmin fast path
+               (re-builds its own index, so its total time is
+               build + DP; the DP split reported is total - build);
+     dense   — Closest.fit_cells_dense, the Theta(K^2 k) reference
+               with its K x K cost matrix.
+
+   Every row cross-checks the two paths: exact_match is true iff the
+   costs are equal float for float AND the chosen piece starts are
+   identical (the leftmost-argmin tie-break contract).  Allocation
+   totals (Gc.allocated_bytes deltas) expose the memory story: the
+   dense path's K x K matrix is 8*K^2 bytes (128 MB at K = 4096), the
+   fast path stays O(K log K).
+
+   One machine-readable line per run is appended to BENCH_closest.json
+   so the perf trajectory accumulates across commits. *)
+
+let bench_file = "BENCH_closest.json"
+
+type row = {
+  cells : int;
+  k : int;
+  t_build : float;
+  query_ns : float;
+  t_fast : float;
+  t_dense : float;
+  fast_mb : float;
+  dense_mb : float;
+  exact : bool;
+}
+
+let mb bytes = bytes /. (1024. *. 1024.)
+
+let measure ~seed ~cells ~k =
+  let n = 4 * cells in
+  let pmf =
+    Ops.flatten (Families.zipf ~n ~s:1.) (Partition.equal_width ~n ~cells)
+  in
+  let cs = Closest.cells_of_pmf pmf in
+  let kk = Array.length cs in
+  let values = Array.map (fun c -> c.Closest.value) cs in
+  let weights = Array.map (fun c -> c.Closest.weight) cs in
+  (* Build split, measured on a standalone index. *)
+  let idx, t_build =
+    Exp_common.wall_time_of (fun () ->
+        Numkit.Rank_index.create ~values ~weights)
+  in
+  (* Oracle latency over a deterministic batch of random segments. *)
+  let nq = 4096 in
+  let rng = Randkit.Rng.create ~seed in
+  let segs =
+    Array.init nq (fun _ ->
+        let a = Randkit.Rng.int rng kk and b = Randkit.Rng.int rng kk in
+        if a <= b then (a, b + 1) else (b, a + 1))
+  in
+  let sink, t_query =
+    Exp_common.wall_time_of (fun () ->
+        let acc = ref 0. in
+        Array.iter
+          (fun (lo, hi) ->
+            acc := !acc +. Numkit.Rank_index.seg_cost idx ~lo ~hi)
+          segs;
+        !acc)
+  in
+  ignore (Sys.opaque_identity sink);
+  let query_ns = t_query /. float_of_int nq *. 1e9 in
+  let alloc_timed f =
+    let a0 = Gc.allocated_bytes () in
+    let x, t = Exp_common.wall_time_of f in
+    (x, t, mb (Gc.allocated_bytes () -. a0))
+  in
+  let (cost_fast, starts_fast), t_fast, fast_mb =
+    alloc_timed (fun () -> Closest.fit_cells cs ~k)
+  in
+  let (cost_dense, starts_dense), t_dense, dense_mb =
+    alloc_timed (fun () -> Closest.fit_cells_dense cs ~k)
+  in
+  let exact =
+    Float.equal cost_fast cost_dense
+    && List.equal Int.equal starts_fast starts_dense
+  in
+  {
+    cells = kk;
+    k;
+    t_build;
+    query_ns;
+    t_fast;
+    t_dense;
+    fast_mb;
+    dense_mb;
+    exact;
+  }
+
+let run (mode : Exp_common.mode) =
+  Exp_common.section ~id:"E18 (closest-H_k DP: dense vs divide & conquer)"
+    ~claim:
+      "The Monge divide-and-conquer DP over the O(log K) rank-index \
+       oracle matches the dense K^2 reference bit for bit while scaling \
+       as K log K in time and memory.";
+  let sizes =
+    if mode.Exp_common.quick then [ 256; 512; 1024; 2048 ]
+    else [ 256; 512; 1024; 2048; 4096; 8192 ]
+  in
+  let ks = [ 2; 8; 32 ] in
+  Exp_common.row
+    "%6s | %3s | %9s | %8s | %9s | %9s | %7s | %8s | %8s | %5s@." "K" "k"
+    "build (s)" "query ns" "d&c (s)" "dense (s)" "speedup" "d&c MB"
+    "dense MB" "exact";
+  Exp_common.hline ();
+  let rows =
+    List.concat_map
+      (fun cells ->
+        List.map
+          (fun k ->
+            let r = measure ~seed:mode.Exp_common.seed ~cells ~k in
+            let speedup = r.t_dense /. Float.max 1e-9 r.t_fast in
+            Exp_common.row
+              "%6d | %3d | %9.5f | %8.1f | %9.4f | %9.3f | %6.1fx | %8.2f \
+               | %8.1f | %5b@."
+              r.cells r.k r.t_build r.query_ns r.t_fast r.t_dense speedup
+              r.fast_mb r.dense_mb r.exact;
+            if not r.exact then
+              Exp_common.row
+                "WARNING: K=%d k=%d — D&C and dense paths disagree!@."
+                r.cells r.k;
+            r)
+          ks)
+      sizes
+  in
+  let all_exact = List.for_all (fun r -> r.exact) rows in
+  let json =
+    Printf.sprintf
+      "{\"bench\":\"e18_closest\",\"seed\":%d,\"quick\":%b,\
+       \"all_exact\":%b,\"rows\":[%s]}"
+      mode.Exp_common.seed mode.Exp_common.quick all_exact
+      (String.concat ","
+         (List.map
+            (fun r ->
+              Printf.sprintf
+                "{\"cells\":%d,\"k\":%d,\"t_build\":%.6f,\
+                 \"query_ns\":%.1f,\"t_dp\":%.6f,\"t_fast\":%.6f,\
+                 \"t_dense\":%.6f,\"speedup\":%.2f,\"fast_mb\":%.2f,\
+                 \"dense_mb\":%.1f,\"exact_match\":%b}"
+                r.cells r.k r.t_build r.query_ns
+                (Float.max 0. (r.t_fast -. r.t_build))
+                r.t_fast r.t_dense
+                (r.t_dense /. Float.max 1e-9 r.t_fast)
+                r.fast_mb r.dense_mb r.exact)
+            rows))
+  in
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 bench_file
+  in
+  output_string oc (json ^ "\n");
+  close_out oc;
+  Exp_common.row "@.%s@." json;
+  Exp_common.row "(appended to %s)@." bench_file;
+  Exp_common.row
+    "@.Expected shape: dense grows ~K^2 in time and exactly K^2 in@.";
+  Exp_common.row
+    "memory; the d&c column grows ~K log^2 K with O(K log K) allocation;@.";
+  Exp_common.row "exact on every row.@.";
+  (* CI runs this in quick mode as a bit-exactness gate: a fast/dense
+     disagreement is a correctness bug, not a perf regression. *)
+  if not all_exact then exit 1

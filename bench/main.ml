@@ -26,6 +26,7 @@ let experiments =
     ("e15", E15_closeness.run);
     ("e16", E16_structured.run);
     ("e17", E17_parallel.run);
+    ("e18", E18_closest.run);
   ]
 
 let () =
@@ -64,7 +65,7 @@ let () =
             match List.assoc_opt (String.lowercase_ascii name) experiments with
             | Some f -> Some (name, f)
             | None ->
-                Format.eprintf "unknown experiment %S (known: e1..e17)@." name;
+                Format.eprintf "unknown experiment %S (known: e1..e18)@." name;
                 None)
           names
   in

@@ -81,3 +81,21 @@ let upper_bound a x =
     if a.(mid) <= x then lo := mid + 1 else hi := mid
   done;
   !lo
+
+let lower_bound_int (a : int array) x =
+  let n = Array.length a in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = !lo + ((!hi - !lo) / 2) in
+    if a.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let upper_bound_int (a : int array) x =
+  let n = Array.length a in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = !lo + ((!hi - !lo) / 2) in
+    if a.(mid) <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo

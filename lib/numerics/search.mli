@@ -25,3 +25,12 @@ val lower_bound : float array -> float -> int
 
 val upper_bound : float array -> float -> int
 (** First index whose value is [> x] in a sorted array, or the length. *)
+
+val lower_bound_int : int array -> int -> int
+(** {!lower_bound} over a sorted [int array]. *)
+
+val upper_bound_int : int array -> int -> int
+(** {!upper_bound} over a sorted [int array]: first index whose value is
+    [> x], or the length.  [upper_bound_int a x - 1] is the last index
+    with value [<= x] (−1 when all exceed [x]) — the predecessor lookup
+    the closest-[H_k] witness uses to map positions to DP pieces. *)

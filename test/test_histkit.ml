@@ -174,8 +174,85 @@ let prop_closest_matches_brute =
       let pmf = Pmf.of_weights (Array.of_list (List.map (( +. ) 0.01) weights)) in
       let mask = Array.init n (fun i -> List.nth_opt mask_bits i <> Some false) in
       let got = Closest.l1_to_hk ~mask pmf ~k in
+      (* Brute force shares no code with the DP (Wmedian heaps vs the
+         rank-index oracle), so agreement is to rounding, not bitwise. *)
       let want = Closest.brute_force_l1 ~mask pmf ~k in
-      Float.abs (got -. want) < 1e-9)
+      Float.abs (got -. want) < 1e-12)
+
+(* The contract of fit_cells_dense: on every input the fast path and the
+   dense K^2 reference return the same cost float for float AND the same
+   piece starts (both break argmin ties leftmost).  Larger domains than
+   the brute-force prop — the dense DP is quadratic, not exponential.
+   Random pmfs are value-non-monotone, so this pins the certified-scan
+   branch of fit_cells. *)
+let prop_closest_fast_equals_dense =
+  QCheck.Test.make ~name:"fast DP bitwise equals dense DP (scan path)"
+    ~count:200
+    QCheck.(
+      triple (int_range 1 6)
+        (list_of_size (Gen.int_range 2 28) (float_bound_inclusive 5.))
+        (list_of_size (Gen.int_range 2 28) bool))
+    (fun (k, vs, mask_bits) ->
+      let weights = List.map Float.abs vs in
+      let n = List.length weights in
+      let pmf = Pmf.of_weights (Array.of_list (List.map (( +. ) 0.01) weights)) in
+      let mask = Array.init n (fun i -> List.nth_opt mask_bits i <> Some false) in
+      let cells = Closest.cells_of_pmf ~mask pmf in
+      let cost_fast, starts_fast = Closest.fit_cells cells ~k in
+      let cost_dense, starts_dense = Closest.fit_cells_dense cells ~k in
+      Float.equal cost_fast cost_dense
+      && List.equal Int.equal starts_fast starts_dense)
+
+(* Same contract on value-SORTED cells (weights random, some zero): the
+   weighted-L1 cost is concave-Monge there, so this pins the
+   divide-and-conquer branch of fit_cells against the dense scan. *)
+let prop_closest_dc_equals_dense =
+  QCheck.Test.make ~name:"fast DP bitwise equals dense DP (d&c path)"
+    ~count:200
+    QCheck.(
+      pair (int_range 1 6)
+        (list_of_size
+           (Gen.int_range 1 28)
+           (pair (float_bound_inclusive 5.) (float_bound_inclusive 3.))))
+    (fun (k, pts) ->
+      let values = List.map fst pts |> List.sort Float.compare in
+      let cells =
+        List.map2
+          (fun v (_, w) ->
+            let w = if w < 0.3 then 0. else Float.abs w in
+            { Closest.value = v; weight = w })
+          values pts
+        |> Array.of_list
+      in
+      let cost_fast, starts_fast = Closest.fit_cells cells ~k in
+      let cost_dense, starts_dense = Closest.fit_cells_dense cells ~k in
+      Float.equal cost_fast cost_dense
+      && List.equal Int.equal starts_fast starts_dense)
+
+let test_closest_all_masked () =
+  (* Fully masked domain: every cell has weight zero, any fit is free. *)
+  let p = Families.zipf ~n:12 ~s:1. in
+  let mask = Array.make 12 false in
+  Alcotest.(check (float 0.)) "all masked" 0. (Closest.l1_to_hk ~mask p ~k:2);
+  let cost, h = Closest.witness ~mask p ~k:2 in
+  Alcotest.(check (float 0.)) "witness cost" 0. cost;
+  Alcotest.(check bool) "witness pieces" true (Khist.pieces h <= 2)
+
+let test_closest_single_cell () =
+  (* A constant pmf compresses to one cell; any k >= 1 fits exactly and
+     the sole piece starts at 0. *)
+  let p = Pmf.uniform 7 in
+  let cells = Closest.cells_of_pmf p in
+  Alcotest.(check int) "one cell" 1 (Array.length cells);
+  List.iter
+    (fun k ->
+      let cost, starts = Closest.fit_cells cells ~k in
+      Alcotest.(check (float 0.)) "exact" 0. cost;
+      Alcotest.(check (list int)) "starts" [ 0 ] starts;
+      let cost_d, starts_d = Closest.fit_cells_dense cells ~k in
+      Alcotest.(check (float 0.)) "dense exact" 0. cost_d;
+      Alcotest.(check (list int)) "dense starts" [ 0 ] starts_d)
+    [ 1; 3 ]
 
 let test_closest_zero_for_members () =
   let p = Families.staircase ~n:60 ~k:5 ~rng:(rng ()) in
@@ -436,7 +513,11 @@ let () =
           Alcotest.test_case "free region boundary" `Quick
             test_closest_free_region_boundary;
           Alcotest.test_case "brute force guard" `Quick test_brute_force_guard;
+          Alcotest.test_case "all masked" `Quick test_closest_all_masked;
+          Alcotest.test_case "single cell" `Quick test_closest_single_cell;
           qc prop_closest_matches_brute;
+          qc prop_closest_fast_equals_dense;
+          qc prop_closest_dc_equals_dense;
         ] );
       ( "haar",
         [

@@ -193,6 +193,17 @@ let test_bounds () =
   Alcotest.(check int) "lower 0" 0 (Numkit.Search.lower_bound a 0.);
   Alcotest.(check int) "upper 9" 4 (Numkit.Search.upper_bound a 9.)
 
+let test_int_bounds () =
+  let a = [| 0; 4; 4; 7 |] in
+  Alcotest.(check int) "lower 4" 1 (Numkit.Search.lower_bound_int a 4);
+  Alcotest.(check int) "upper 4" 3 (Numkit.Search.upper_bound_int a 4);
+  Alcotest.(check int) "lower -1" 0 (Numkit.Search.lower_bound_int a (-1));
+  Alcotest.(check int) "upper 99" 4 (Numkit.Search.upper_bound_int a 99);
+  (* Predecessor lookup: index of the last element <= x, the shape the
+     witness's piece_of_pos uses. *)
+  Alcotest.(check int) "pred 5" 2 (Numkit.Search.upper_bound_int a 5 - 1);
+  Alcotest.(check int) "pred 0" 0 (Numkit.Search.upper_bound_int a 0 - 1)
+
 (* --- Heap --- *)
 
 let test_heap_sort () =
@@ -276,6 +287,92 @@ let test_wmedian_heavy_weight () =
   check_float "heavy point wins" 100. (Numkit.Wmedian.median med);
   check_float "cost" 100. (Numkit.Wmedian.cost med)
 
+(* --- Rank_index --- *)
+
+(* Streaming reference for any segment: replay the cells through
+   Wmedian.  Independent of the wavelet tree's prefix-sum algebra. *)
+let wmedian_seg values weights lo hi =
+  let med = Numkit.Wmedian.create () in
+  for i = lo to hi - 1 do
+    Numkit.Wmedian.add med ~value:values.(i) ~weight:weights.(i)
+  done;
+  (Numkit.Wmedian.cost med, Numkit.Wmedian.median med)
+
+let test_rank_index_simple () =
+  let values = [| 1.; 2.; 10. |] and weights = [| 1.; 1.; 1. |] in
+  let idx = Numkit.Rank_index.create ~values ~weights in
+  Alcotest.(check int) "size" 3 (Numkit.Rank_index.size idx);
+  check_float "cost full" 9. (Numkit.Rank_index.seg_cost idx ~lo:0 ~hi:3);
+  check_float "median full" 2. (Numkit.Rank_index.seg_median idx ~lo:0 ~hi:3);
+  check_float "cost single" 0. (Numkit.Rank_index.seg_cost idx ~lo:2 ~hi:3);
+  check_float "median single" 10.
+    (Numkit.Rank_index.seg_median idx ~lo:2 ~hi:3);
+  check_float "weight" 2. (Numkit.Rank_index.seg_weight idx ~lo:0 ~hi:2)
+
+let test_rank_index_zero_weight () =
+  let idx =
+    Numkit.Rank_index.create ~values:[| 3.; 7. |] ~weights:[| 0.; 0. |]
+  in
+  check_float "zero-weight cost" 0. (Numkit.Rank_index.seg_cost idx ~lo:0 ~hi:2);
+  Alcotest.(check bool) "zero-weight median is nan" true
+    (Float.is_nan (Numkit.Rank_index.seg_median idx ~lo:0 ~hi:2))
+
+let test_rank_index_guards () =
+  let rejects f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "empty" true
+    (rejects (fun () -> Numkit.Rank_index.create ~values:[||] ~weights:[||]));
+  Alcotest.(check bool) "length mismatch" true
+    (rejects (fun () ->
+         Numkit.Rank_index.create ~values:[| 1. |] ~weights:[| 1.; 2. |]));
+  Alcotest.(check bool) "nan value" true
+    (rejects (fun () ->
+         Numkit.Rank_index.create ~values:[| nan |] ~weights:[| 1. |]));
+  Alcotest.(check bool) "negative weight" true
+    (rejects (fun () ->
+         Numkit.Rank_index.create ~values:[| 1. |] ~weights:[| -1. |]));
+  let idx = Numkit.Rank_index.create ~values:[| 1. |] ~weights:[| 1. |] in
+  Alcotest.(check bool) "empty segment" true
+    (rejects (fun () -> Numkit.Rank_index.seg_cost idx ~lo:0 ~hi:0));
+  Alcotest.(check bool) "out of range" true
+    (rejects (fun () -> Numkit.Rank_index.seg_cost idx ~lo:0 ~hi:2))
+
+(* Exhaustive cross-check against the streaming Wmedian on every
+   segment of a random instance.  Weights include exact zeros (the
+   masked-cell case of the closest-H_k DP); duplicated values exercise
+   the rank dedup. *)
+let prop_rank_index_matches_wmedian =
+  QCheck.Test.make ~name:"rank index equals streaming wmedian on all segments"
+    ~count:200
+    QCheck.(
+      list_of_size (Gen.int_range 1 24)
+        (pair (float_bound_inclusive 8.) (float_bound_inclusive 4.)))
+    (fun pts ->
+      let values =
+        Array.of_list (List.map (fun (v, _) -> Float.round (v *. 2.)) pts)
+      in
+      let weights =
+        Array.of_list
+          (List.map (fun (_, w) -> if w < 0.4 then 0. else Float.abs w) pts)
+      in
+      let idx = Numkit.Rank_index.create ~values ~weights in
+      let n = Array.length values in
+      let ok = ref true in
+      for lo = 0 to n - 1 do
+        for hi = lo + 1 to n do
+          let got = Numkit.Rank_index.seg_cost idx ~lo ~hi in
+          let want, wmed = wmedian_seg values weights lo hi in
+          if Float.abs (got -. want) > 1e-9 +. (1e-9 *. Float.abs want) then
+            ok := false;
+          (* Median agreement whenever the segment carries weight: both
+             sides implement the weighted lower median. *)
+          let w = Numkit.Rank_index.seg_weight idx ~lo ~hi in
+          if w > 0. then
+            let gmed = Numkit.Rank_index.seg_median idx ~lo ~hi in
+            if not (Float.equal gmed wmed) then ok := false
+        done
+      done;
+      !ok)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "numkit"
@@ -321,6 +418,7 @@ let () =
           Alcotest.test_case "doubling" `Quick test_doubling;
           Alcotest.test_case "bisect" `Quick test_bisect;
           Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
         ] );
       ( "heap",
         [
@@ -333,5 +431,12 @@ let () =
           Alcotest.test_case "simple" `Quick test_wmedian_simple;
           Alcotest.test_case "heavy weight" `Quick test_wmedian_heavy_weight;
           qc prop_wmedian_cost;
+        ] );
+      ( "rank_index",
+        [
+          Alcotest.test_case "simple" `Quick test_rank_index_simple;
+          Alcotest.test_case "zero weight" `Quick test_rank_index_zero_weight;
+          Alcotest.test_case "guards" `Quick test_rank_index_guards;
+          qc prop_rank_index_matches_wmedian;
         ] );
     ]
