@@ -1,0 +1,36 @@
+let () =
+  let seed = int_of_string Sys.argv.(1) in
+  let trials = int_of_string Sys.argv.(2) in
+  let st = Random.State.make [| seed |] in
+  let bad = ref 0 in
+  for t = 1 to trials do
+    let n = 2 + Random.State.int st 40 in
+    let k = 1 + Random.State.int st 8 in
+    (* adversarial: wide magnitude spread to force rounding, sorted values *)
+    let vals = Array.init n (fun _ ->
+      let e = Random.State.int st 24 - 12 in
+      Random.State.float st 1.0 *. (2. ** float_of_int e)) in
+    Array.sort Float.compare vals;
+    let vals = if Random.State.bool st then vals
+               else (let m = Array.length vals in Array.init m (fun i -> vals.(m-1-i))) in
+    let w = Array.init n (fun _ ->
+      if Random.State.int st 5 = 0 then 0.
+      else let e = Random.State.int st 16 - 8 in
+           Random.State.float st 1.0 *. (2. ** float_of_int e)) in
+    let cells = Array.init n (fun i -> { Closest.value = vals.(i); weight = w.(i) }) in
+    let cf, sf = Closest.fit_cells cells ~k in
+    let cd, sd = Closest.fit_cells_dense cells ~k in
+    if not (Float.equal cf cd && List.equal Int.equal sf sd) then begin
+      incr bad;
+      if !bad <= 3 then begin
+        Printf.printf "MISMATCH trial=%d n=%d k=%d fast=%.17g dense=%.17g\n" t n k cf cd;
+        Printf.printf "  starts fast=[%s] dense=[%s]\n"
+          (String.concat ";" (List.map string_of_int sf))
+          (String.concat ";" (List.map string_of_int sd));
+        Printf.printf "  vals=[%s]\n  w=[%s]\n"
+          (String.concat ";" (Array.to_list (Array.map (Printf.sprintf "%h") vals)))
+          (String.concat ";" (Array.to_list (Array.map (Printf.sprintf "%h") w)))
+      end
+    end
+  done;
+  Printf.printf "trials=%d mismatches=%d\n" trials !bad
