@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint bench-smoke bench-parallel bench-closest bench clean
+.PHONY: all build test lint bench-smoke bench-parallel bench-closest bench-counts bench clean
 
 all: build
 
@@ -34,6 +34,14 @@ bench-parallel:
 # BENCH_closest.json.  Quick mode sweeps K <= 2048; --full goes to 8192.
 bench-closest:
 	dune exec bench/main.exe -- e18
+
+# The counts-path oracle benchmark (E19 quick mode): per-trial time vs m
+# for the split-tree binomial-splitting path against the alias stream
+# path, plus the chi^2 path-equivalence and verdict-distribution gates.
+# Non-zero exit if the counts path fails the equivalence check; appends
+# one machine-readable line to BENCH_counts.json.
+bench-counts:
+	dune exec bench/main.exe -- e19
 
 bench:
 	dune exec bench/main.exe

@@ -237,6 +237,44 @@ let run (mode : Exp_common.mode) =
     List.for_all (fun (_, _, _, a, _, _) -> a = base_accepts) job_rows
     && accepts_rebuild = accepts_probe && z_match
   in
+
+  (* 4. Same workload on the counts-path oracle: one split tree built and
+     shared read-only across domains, per-domain workspaces as before.
+     Accept counts differ from section 3 (different generator consumption)
+     but must again agree across job counts within the counts path. *)
+  let counts_arm pool () =
+    let rng = Randkit.Rng.create ~seed:mode.Exp_common.seed in
+    accepts_of
+      (Harness.run_trials ~pool ~oracle:Harness.Counts ~rng ~trials ~pmf
+         decide)
+  in
+  Exp_common.row "@.same %d trials on the counts-path oracle:@." trials;
+  Exp_common.row "%5s | %10s | %12s | %10s@." "jobs" "time (s)" "trials/sec"
+    "accepts";
+  Exp_common.hline ();
+  let counts_rows =
+    List.map
+      (fun jobs ->
+        let accepts, t =
+          Parkit.Pool.with_pool ~jobs (fun pool ->
+              Exp_common.wall_time_of (counts_arm pool))
+        in
+        let rate = float_of_int trials /. Float.max 1e-9 t in
+        Exp_common.row "%5d | %10.3f | %12.1f | %7d/%d@." jobs t rate accepts
+          trials;
+        (jobs, t, rate, accepts))
+      [ 1; 2; 4 ]
+  in
+  let counts_base_accepts, counts_base_rate =
+    match counts_rows with
+    | (_, _, r, a) :: _ -> (a, r)
+    | [] -> (0, nan)
+  in
+  let counts_deterministic =
+    List.for_all (fun (_, _, _, a) -> a = counts_base_accepts) counts_rows
+  in
+  if not counts_deterministic then
+    Exp_common.row "WARNING: counts-path accepts differ across job counts!@.";
   let json =
     Printf.sprintf
       "{\"bench\":\"e17_parallel\",\"n\":%d,\"k\":%d,\"eps\":%g,\"trials\":%d,\
@@ -246,7 +284,8 @@ let run (mode : Exp_common.mode) =
        \"minor_per_trial_ws\":%.2f,\"minor_gc_reduction\":%.1f,\
        \"mb_per_trial_alloc\":%.2f,\"mb_per_trial_ws\":%.2f,\
        \"alloc_reduction\":%.1f,\"z_match\":%b},\
-       \"deterministic\":%b,\"jobs\":[%s]}"
+       \"deterministic\":%b,\"jobs\":[%s],\
+       \"counts_deterministic\":%b,\"counts_jobs\":[%s]}"
       n k eps trials mode.Exp_common.seed cores alias_speedup gc_trials gc_m
       (per_trial minor_pr1) (per_trial minor_ws) minor_reduction
       (mb bytes_pr1 /. float_of_int gc_trials)
@@ -262,6 +301,17 @@ let run (mode : Exp_common.mode) =
                 jobs t rate (rate /. base_rate) dminor (mb dbytes)
                 (jobs > cores))
             job_rows))
+      counts_deterministic
+      (String.concat ","
+         (List.map
+            (fun (jobs, t, rate, _) ->
+              Printf.sprintf
+                "{\"jobs\":%d,\"seconds\":%.4f,\"trials_per_sec\":%.2f,\
+                 \"speedup\":%.3f,\"oversubscribed\":%b}"
+                jobs t rate
+                (rate /. counts_base_rate)
+                (jobs > cores))
+            counts_rows))
   in
   let oc =
     open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 bench_file

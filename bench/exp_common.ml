@@ -4,9 +4,9 @@
    the workload, and the measured rows.  EXPERIMENTS.md records one
    reference run of each. *)
 
-type mode = { quick : bool; seed : int }
+type mode = { quick : bool; seed : int; oracle : Harness.oracle_kind }
 
-let default_mode = { quick = true; seed = 1 }
+let default_mode = { quick = true; seed = 1; oracle = Harness.Stream }
 
 let section ~id ~claim =
   Format.printf "@.=== %s ===@." id;
@@ -18,11 +18,12 @@ let hline () =
   Format.printf "%s@." (String.make 72 '-')
 
 (* Trials run on the Parkit default pool (--jobs / HISTOTEST_JOBS).  The
-   harness pre-splits the generators and shares one alias table, so the
-   measured rates are bit-identical at any job count. *)
+   harness pre-splits the generators and shares one sampling structure
+   (alias table or split tree, per --oracle), so the measured rates are
+   bit-identical at any job count within an oracle kind. *)
 let accept_rate ~mode ~trials ~pmf run =
   let rng = Randkit.Rng.create ~seed:mode.seed in
-  Harness.accept_rate ~rng ~trials ~pmf (fun trial ->
+  Harness.accept_rate ~oracle:mode.oracle ~rng ~trials ~pmf (fun trial ->
       run trial.Harness.oracle)
 
 (* Error on a completeness/soundness pair: (rejection rate on yes,

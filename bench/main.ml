@@ -5,7 +5,9 @@
      dune exec bench/main.exe -- e1 e4        # a subset
      dune exec bench/main.exe -- --full       # full-size sweeps
      dune exec bench/main.exe -- --seed 7 e10 # different seed
-     dune exec bench/main.exe -- --jobs 4 e1  # trial loops on 4 domains *)
+     dune exec bench/main.exe -- --jobs 4 e1  # trial loops on 4 domains
+     dune exec bench/main.exe -- --oracle counts e1
+                                              # count-vector oracle path *)
 
 let experiments =
   [
@@ -27,6 +29,7 @@ let experiments =
     ("e16", E16_structured.run);
     ("e17", E17_parallel.run);
     ("e18", E18_closest.run);
+    ("e19", E19_counts.run);
   ]
 
 let () =
@@ -46,16 +49,26 @@ let () =
   (match opt_value "--jobs" with
   | Some v -> Parkit.Pool.set_default ~jobs:(int_of_string v)
   | None -> ());
+  let oracle =
+    match opt_value "--oracle" with
+    | None -> Harness.Stream
+    | Some v -> (
+        match Harness.oracle_kind_of_string v with
+        | Some kind -> kind
+        | None ->
+            Format.eprintf "unknown oracle %S (stream or counts)@." v;
+            exit 2)
+  in
   let selected =
     let rec strip = function
-      | ("--seed" | "--jobs") :: _ :: rest -> strip rest
+      | ("--seed" | "--jobs" | "--oracle") :: _ :: rest -> strip rest
       | "--full" :: rest -> strip rest
       | a :: rest -> a :: strip rest
       | [] -> []
     in
     strip args
   in
-  let mode = { Exp_common.quick = not full; seed } in
+  let mode = { Exp_common.quick = not full; seed; oracle } in
   let to_run =
     match selected with
     | [] -> experiments
@@ -65,14 +78,16 @@ let () =
             match List.assoc_opt (String.lowercase_ascii name) experiments with
             | Some f -> Some (name, f)
             | None ->
-                Format.eprintf "unknown experiment %S (known: e1..e18)@." name;
+                Format.eprintf "unknown experiment %S (known: e1..e19)@." name;
                 None)
           names
   in
-  Format.printf "histotest experiment harness (%s mode, seed %d, jobs %d)@."
+  Format.printf
+    "histotest experiment harness (%s mode, seed %d, jobs %d, oracle %s)@."
     (if full then "full" else "quick")
     seed
-    (Parkit.Pool.jobs (Parkit.Pool.get_default ()));
+    (Parkit.Pool.jobs (Parkit.Pool.get_default ()))
+    (Harness.oracle_kind_to_string oracle);
   let t0 = Sys.time () in
   List.iter (fun (_, f) -> f mode) to_run;
   Format.printf "@.total time: %.1f s@." (Sys.time () -. t0)

@@ -77,6 +77,18 @@ let jobs_arg =
 
 let apply_jobs jobs = if jobs > 0 then Parkit.Pool.set_default ~jobs
 
+let oracle_arg =
+  Arg.(
+    value
+    & opt (enum [ ("stream", Harness.Stream); ("counts", Harness.Counts) ])
+        Harness.Stream
+    & info [ "oracle" ] ~docv:"ORACLE"
+        ~doc:
+          "Per-trial sample oracle: $(b,stream) (alias-table draws, the \
+           bit-exact reference) or $(b,counts) (split-tree count vectors, \
+           per-trial cost independent of the sample budget; same law, \
+           different generator stream).")
+
 let paper_arg =
   Arg.(
     value & flag
@@ -104,7 +116,7 @@ let with_family spec n seed f =
 
 (* --- test command --- *)
 
-let run_test family n k eps seed trials paper tester_name jobs =
+let run_test family n k eps seed trials paper tester_name jobs oracle =
   apply_jobs jobs;
   with_family family n seed (fun pmf rng ->
       let config = config_of_paper paper in
@@ -131,7 +143,7 @@ let run_test family n k eps seed trials paper tester_name jobs =
              pre-splits generators, so output is identical at any job
              count. *)
           let verdicts =
-            Harness.run_trials ~rng ~trials ~pmf (fun trial ->
+            Harness.run_trials ~oracle ~rng ~trials ~pmf (fun trial ->
                 t.Histotest.Tester.run trial.Harness.oracle ~k ~eps)
           in
           let accepts = ref 0 in
@@ -150,7 +162,7 @@ let test_cmd =
     (Cmd.info "test" ~doc)
     Term.(
       const run_test $ family_arg $ n_arg $ k_arg $ eps_arg $ seed_arg
-      $ trials_arg $ paper_arg $ tester_arg $ jobs_arg)
+      $ trials_arg $ paper_arg $ tester_arg $ jobs_arg $ oracle_arg)
 
 (* --- select command --- *)
 
@@ -335,7 +347,7 @@ let read_dataset path =
       raise e);
   List.rev !values
 
-let run_test_file path domain k eps seed trials jobs =
+let run_test_file path domain k eps seed trials jobs oracle =
   apply_jobs jobs;
   match read_dataset path with
   | exception Sys_error msg ->
@@ -381,7 +393,7 @@ let run_test_file path domain k eps seed trials jobs =
             "(accept iff it is well below your eps = %g).@." eps
         end;
         let reports =
-          Harness.run_trials ~rng ~trials ~pmf:population (fun trial ->
+          Harness.run_trials ~oracle ~rng ~trials ~pmf:population (fun trial ->
               Histotest.Hist_tester.run trial.Harness.oracle ~k ~eps)
         in
         let accepts = ref 0 in
@@ -416,7 +428,7 @@ let test_file_cmd =
     (Cmd.info "test-file" ~doc)
     Term.(
       const run_test_file $ file_arg $ domain_opt_arg $ k_arg $ eps_arg
-      $ seed_arg $ trials_arg $ jobs_arg)
+      $ seed_arg $ trials_arg $ jobs_arg $ oracle_arg)
 
 let main_cmd =
   let doc = "testing histogram distributions (PODS reproduction)" in

@@ -1,0 +1,70 @@
+(* Static balanced interval tree over a pmf for direct multinomial
+   count-vector generation by recursive binomial splitting.
+
+   Layout: the domain is padded to the next power of two [width] and the
+   tree stored as an implicit heap — node 1 is the root, node [i]'s
+   children are [2i] and [2i+1], leaf [j] lives at [width + j].  Each
+   node holds the total mass of its range, computed bottom-up once at
+   construction; padding leaves carry mass 0.  Like an alias table the
+   tree is immutable after [of_pmf] and can be shared read-only across
+   trials and domains; only the generator passed to the draw functions is
+   mutated.
+
+   Sampling [draw_counts t rng m] walks the tree top-down: a node holding
+   [c] balls sends [Binomial(c, w_left / w)] of them left and the rest
+   right.  Zero-count and zero-mass subtrees are never entered (the
+   binomial's p = 0 / p = 1 closed forms consume no randomness), so a
+   draw visits O(s·log(width/s)) branching nodes for s occupied leaves —
+   independent of m, which is the whole point: the per-trial cost of a
+   tester stops scaling with its sample budget.
+
+   Mass ratios: [w] at a node is the rounded float sum of its children's
+   masses, so [w >= w_left] always holds and [w_left /. w] lands in
+   [0, 1] by IEEE rounding alone — no clamping needed.  A zero-mass node
+   is never entered with a positive count (its parent's split probability
+   toward it is exactly 0), so the division is only evaluated where
+   [w > 0]. *)
+
+type t = { n : int; width : int; mass : float array }
+
+let next_pow2 n =
+  let rec go w = if w >= n then w else go (2 * w) in
+  go 1
+
+let of_pmf pmf =
+  let n = Pmf.size pmf in
+  let p = Pmf.unsafe_array pmf in
+  let width = next_pow2 n in
+  let mass = Array.make (2 * width) 0. in
+  Array.blit p 0 mass width n;
+  for i = width - 1 downto 1 do
+    mass.(i) <- mass.(2 * i) +. mass.((2 * i) + 1)
+  done;
+  { n; width; mass }
+
+let size t = t.n
+
+let rec fill t rng counts node count =
+  if count > 0 then
+    if node >= t.width then counts.(node - t.width) <- count
+    else begin
+      let mass = t.mass in
+      let left = 2 * node in
+      let p_left = Array.unsafe_get mass left /. Array.unsafe_get mass node in
+      let c_left = Randkit.Sampler.binomial rng ~n:count ~p:p_left in
+      fill t rng counts left c_left;
+      fill t rng counts (left + 1) (count - c_left)
+    end
+
+let draw_counts_into t rng ~counts m =
+  if m < 0 then invalid_arg "Split_tree.draw_counts_into: negative sample count";
+  if Array.length counts <> t.n then
+    invalid_arg "Split_tree.draw_counts_into: counts length mismatch";
+  Array.fill counts 0 t.n 0;
+  fill t rng counts 1 m
+
+let draw_counts t rng m =
+  if m < 0 then invalid_arg "Split_tree.draw_counts: negative sample count";
+  let counts = Array.make t.n 0 in
+  fill t rng counts 1 m;
+  counts

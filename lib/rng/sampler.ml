@@ -68,24 +68,86 @@ let poisson rng ~mean =
   else if mean < 30. then poisson_small rng mean
   else poisson_ptrs rng mean
 
-let rec binomial rng ~n ~p =
-  if n < 0 then invalid_arg "Sampler.binomial: n must be nonnegative";
-  if p < 0. || p > 1. then invalid_arg "Sampler.binomial: p outside [0, 1]";
-  if Float.equal p 0. || n = 0 then 0
-  else if Float.equal p 1. then n
-  else if p > 0.5 then n - binomial_complement rng ~n ~p:(1. -. p)
-  else binomial_complement rng ~n ~p
-
 (* Waiting-time method: skip over failures with geometric jumps; expected
-   time O(n * p), which is fast in the small-p regime all our workloads
-   live in (bin probabilities). *)
-and binomial_complement rng ~n ~p =
+   time O(n * p), which is fast in the small-np regime (bin probabilities,
+   deep splitting-tree nodes).  Requires 0 < p <= 0.5. *)
+let binomial_waiting_core rng ~n ~p =
   let rec loop i successes =
     let jump = geometric rng ~p in
     let i = i + jump + 1 in
     if i > n then successes else loop i (successes + 1)
   in
   loop 0 0
+
+(* Hörmann's BTRS transformed-rejection sampler: O(1) expected time
+   whatever n*p is, provided n*p >= 10 (below that the fitted dominating
+   curve is not guaranteed to dominate).  Constants from "The generation
+   of binomial random variates" (1993), the binomial sibling of the PTRS
+   Poisson sampler above.  Requires 0 < p <= 0.5 and n*p >= 10. *)
+let binomial_btrs_core rng ~n ~p =
+  let fn = float_of_int n in
+  let q = 1. -. p in
+  let spq = sqrt (fn *. p *. q) in
+  let b = 1.15 +. (2.53 *. spq) in
+  let a = -0.0873 +. (0.0248 *. b) +. (0.01 *. p) in
+  let c = (fn *. p) +. 0.5 in
+  let v_r = 0.92 -. (4.2 /. b) in
+  let alpha = (2.83 +. (5.1 /. b)) *. spq in
+  let lpq = log (p /. q) in
+  let mode = int_of_float (floor ((fn +. 1.) *. p)) in
+  let h =
+    Numkit.Special.log_factorial mode
+    +. Numkit.Special.log_factorial (n - mode)
+  in
+  let rec loop () =
+    let u = Rng.float rng 1. -. 0.5 in
+    let v = Rng.unit_open rng in
+    let us = 0.5 -. Float.abs u in
+    let k = int_of_float (floor (((2. *. a /. us) +. b) *. u +. c)) in
+    if us >= 0.07 && v <= v_r then k
+    else if k < 0 || k > n then loop ()
+    else if
+      log (v *. alpha /. ((a /. (us *. us)) +. b))
+      <= h
+         -. Numkit.Special.log_factorial k
+         -. Numkit.Special.log_factorial (n - k)
+         +. (float_of_int (k - mode) *. lpq)
+    then k
+    else loop ()
+  in
+  loop ()
+
+(* Branch cutoff on n*min(p, 1-p), pinned as a constant: the dispatch —
+   and therefore every downstream draw stream — must be identical on
+   every host.  10 is BTRS's validity floor. *)
+let binomial_btrs_cutoff = 10.
+
+(* Shared validation and closed-form extremes; [core] only ever sees
+   0 < p <= 0.5 and n >= 1, and the extremes consume no randomness.  The
+   [not (p >= 0. && p <= 1.)] form also rejects NaN, which the naive
+   [p < 0. || p > 1.] test would let through. *)
+let binomial_checked name core rng ~n ~p =
+  if n < 0 then invalid_arg (name ^ ": n must be nonnegative");
+  if not (p >= 0. && p <= 1.) then invalid_arg (name ^ ": p outside [0, 1]");
+  if n = 0 || Float.equal p 0. then 0
+  else if Float.equal p 1. then n
+  else if p > 0.5 then n - core rng ~n ~p:(1. -. p)
+  else core rng ~n ~p
+
+let binomial_waiting_time rng ~n ~p =
+  binomial_checked "Sampler.binomial_waiting_time" binomial_waiting_core rng
+    ~n ~p
+
+let binomial_btrs rng ~n ~p =
+  binomial_checked "Sampler.binomial_btrs" binomial_btrs_core rng ~n ~p
+
+let binomial rng ~n ~p =
+  binomial_checked "Sampler.binomial"
+    (fun rng ~n ~p ->
+      if float_of_int n *. p < binomial_btrs_cutoff then
+        binomial_waiting_core rng ~n ~p
+      else binomial_btrs_core rng ~n ~p)
+    rng ~n ~p
 
 let categorical_from_cdf rng cdf =
   let n = Array.length cdf in

@@ -17,7 +17,32 @@ val poisson : Rng.t -> mean:float -> int
     (O(1) expected) above. *)
 
 val binomial : Rng.t -> n:int -> p:float -> int
-(** Waiting-time method, O(n·min(p, 1-p)) expected. *)
+(** O(1) expected whatever [n] and [p] are: waiting-time below the pinned
+    cutoff {!binomial_btrs_cutoff} on [n·min(p, 1-p)], Hörmann's BTRS
+    transformed rejection at or above it.  The cutoff is a compile-time
+    constant (not host-derived), so the branch taken — and therefore the
+    draw stream — is identical on every machine.  [p = 0], [p = 1] and
+    [n = 0] are closed forms that consume no randomness; this is what
+    lets the splitting tree skip zero-mass subtrees for free.
+    @raise Invalid_argument if [n < 0] or [p] is NaN or outside [0, 1]. *)
+
+val binomial_waiting_time : Rng.t -> n:int -> p:float -> int
+(** The waiting-time branch alone (geometric jumps over failures),
+    O(n·min(p, 1-p)) expected — the reference implementation [binomial]
+    dispatches to below the cutoff.  Same guards and closed-form
+    extremes as [binomial]. *)
+
+val binomial_btrs : Rng.t -> n:int -> p:float -> int
+(** The BTRS rejection branch alone, O(1) expected.  Statistically exact
+    only in its validity regime [n·min(p, 1-p) >= binomial_btrs_cutoff];
+    outside it the fitted dominating curve may fail to dominate — exposed
+    separately so tests can pin each branch, not for direct use.  Same
+    guards and closed-form extremes as [binomial]. *)
+
+val binomial_btrs_cutoff : float
+(** The pinned dispatch threshold on [n·min(p, 1-p)] (currently 10, the
+    BTRS validity floor).  Part of the draw-stream contract: changing it
+    changes every stream that crosses it. *)
 
 val categorical_from_cdf : Rng.t -> float array -> int
 (** Draw an index given the (nondecreasing, positive-total) cumulative

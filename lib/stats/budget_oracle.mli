@@ -14,7 +14,10 @@ val wrap : ?cap:int -> Poissonize.oracle -> t
 
 val oracle : t -> Poissonize.oracle
 (** The metered oracle to hand to a tester.  Poissonized draws are charged
-    at their realized count. *)
+    at their realized count — the sum of the returned vector, which on the
+    counts path ([Poissonize.counts_of_tree]) equals the Poisson total
+    drawn at the tree root, so sample accounting is identical in law on
+    both paths even though no stream was ever materialized. *)
 
 val drawn : t -> int
 (** Samples drawn so far through {!oracle}. *)

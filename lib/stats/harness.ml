@@ -4,6 +4,15 @@ type trial = {
   ws : Workspace.t;
 }
 
+type oracle_kind = Stream | Counts
+
+let oracle_kind_of_string = function
+  | "stream" -> Some Stream
+  | "counts" -> Some Counts
+  | _ -> None
+
+let oracle_kind_to_string = function Stream -> "stream" | Counts -> "counts"
+
 (* One generator per trial, split off *sequentially before dispatch*: the
    child streams — and therefore every trial's samples — are fixed by the
    seed alone, so a parallel run is bit-identical to a sequential one
@@ -15,26 +24,39 @@ let split_rngs ~rng ~trials =
   done;
   rngs
 
-let run_trials ?pool ~rng ~trials ~pmf f =
+let run_trials ?pool ?(oracle = Stream) ~rng ~trials ~pmf f =
   let pool =
     match pool with Some p -> p | None -> Parkit.Pool.get_default ()
   in
-  (* The O(n) alias table depends only on the PMF: build it once and share
-     it read-only across all trials (and domains).  Each trial's oracle
-     draws into the workspace of whichever domain runs it — trials on a
-     domain run strictly in sequence, so the buffers are reused, not
+  (* The O(n) sampling structure — alias table on the stream path, split
+     tree on the counts path — depends only on the PMF: build it once and
+     share it read-only across all trials (and domains).  Each trial's
+     oracle draws into the workspace of whichever domain runs it — trials
+     on a domain run strictly in sequence, so the buffers are reused, not
      raced — and the draw streams are fixed by the pre-split generators
-     alone, so results stay bit-identical at any job count. *)
-  let alias = Alias.of_pmf pmf in
+     alone, so results stay bit-identical at any job count.  Building
+     either structure consumes no randomness, so trial [i]'s generator is
+     the same under both kinds; the *consumption* of that generator
+     differs between kinds (equivalence between them is distributional,
+     not bit-exact). *)
+  let make_oracle =
+    match oracle with
+    | Stream ->
+        let alias = Alias.of_pmf pmf in
+        fun ws child -> Poissonize.of_alias_ws ws child alias
+    | Counts ->
+        let tree = Split_tree.of_pmf pmf in
+        fun ws child -> Poissonize.counts_of_tree_ws ws child tree
+  in
   let rngs = split_rngs ~rng ~trials in
   Parkit.Pool.map pool
     (fun child ->
       let ws = Workspace.domain_local () in
-      f { rng = child; oracle = Poissonize.of_alias_ws ws child alias; ws })
+      f { rng = child; oracle = make_oracle ws child; ws })
     rngs
 
-let accept_rate ?pool ~rng ~trials ~pmf decide =
-  let verdicts = run_trials ?pool ~rng ~trials ~pmf decide in
+let accept_rate ?pool ?oracle ~rng ~trials ~pmf decide =
+  let verdicts = run_trials ?pool ?oracle ~rng ~trials ~pmf decide in
   let accepts =
     Array.fold_left
       (fun acc v -> if Verdict.equal v Verdict.Accept then acc + 1 else acc)
@@ -42,8 +64,8 @@ let accept_rate ?pool ~rng ~trials ~pmf decide =
   in
   float_of_int accepts /. float_of_int trials
 
-let error_rate ?pool ~rng ~trials ~pmf ~in_class decide =
-  let rate = accept_rate ?pool ~rng ~trials ~pmf decide in
+let error_rate ?pool ?oracle ~rng ~trials ~pmf ~in_class decide =
+  let rate = accept_rate ?pool ?oracle ~rng ~trials ~pmf decide in
   if in_class then 1. -. rate else rate
 
 type complexity_result = {
@@ -51,14 +73,17 @@ type complexity_result = {
   probed : (int * float) list;  (** (m, worst error rate) per probe *)
 }
 
-let min_samples ?pool ~rng ~trials ~limit ~start ~yes_pmf ~no_pmf decide =
+let min_samples ?pool ?oracle ~rng ~trials ~limit ~start ~yes_pmf ~no_pmf
+    decide =
   let probed = ref [] in
   let ok m =
     let err_yes =
-      error_rate ?pool ~rng ~trials ~pmf:yes_pmf ~in_class:true (decide ~m)
+      error_rate ?pool ?oracle ~rng ~trials ~pmf:yes_pmf ~in_class:true
+        (decide ~m)
     in
     let err_no =
-      error_rate ?pool ~rng ~trials ~pmf:no_pmf ~in_class:false (decide ~m)
+      error_rate ?pool ?oracle ~rng ~trials ~pmf:no_pmf ~in_class:false
+        (decide ~m)
     in
     let worst = Float.max err_yes err_no in
     probed := (m, worst) :: !probed;

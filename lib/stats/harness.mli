@@ -24,8 +24,24 @@ type trial = {
           [Hist_tester.test ~ws]). *)
 }
 
+type oracle_kind =
+  | Stream
+      (** Alias-table draws: Θ(m) per trial, the bit-exact reference path
+          (streams pinned since PR 2). *)
+  | Counts
+      (** Split-tree binomial splitting: count vectors generated directly,
+          O(K log(n/K)) per trial independent of m.  Same law, different
+          generator consumption — results agree with [Stream]
+          distributionally, not bit-for-bit. *)
+
+val oracle_kind_of_string : string -> oracle_kind option
+(** ["stream"] / ["counts"]; the CLI and bench [--oracle] vocabulary. *)
+
+val oracle_kind_to_string : oracle_kind -> string
+
 val run_trials :
   ?pool:Parkit.Pool.t ->
+  ?oracle:oracle_kind ->
   rng:Randkit.Rng.t ->
   trials:int ->
   pmf:Pmf.t ->
@@ -33,10 +49,13 @@ val run_trials :
   'a array
 (** Results are in trial order.  [f] runs concurrently with itself when
     the pool has more than one job: it must only mutate its own trial's
-    state (the trial's [rng], its oracle and workspace, locals). *)
+    state (the trial's [rng], its oracle and workspace, locals).
+    [?oracle] (default [Stream]) picks the per-trial oracle construction;
+    within a kind, results remain bit-identical at any job count. *)
 
 val accept_rate :
   ?pool:Parkit.Pool.t ->
+  ?oracle:oracle_kind ->
   rng:Randkit.Rng.t ->
   trials:int ->
   pmf:Pmf.t ->
@@ -45,6 +64,7 @@ val accept_rate :
 
 val error_rate :
   ?pool:Parkit.Pool.t ->
+  ?oracle:oracle_kind ->
   rng:Randkit.Rng.t ->
   trials:int ->
   pmf:Pmf.t ->
@@ -61,6 +81,7 @@ type complexity_result = {
 
 val min_samples :
   ?pool:Parkit.Pool.t ->
+  ?oracle:oracle_kind ->
   rng:Randkit.Rng.t ->
   trials:int ->
   limit:int ->

@@ -37,4 +37,25 @@ val of_alias_ws : Workspace.t -> Randkit.Rng.t -> Alias.t -> oracle
     counts simultaneously — give them distinct workspaces or use
     [of_alias]). *)
 
+val counts_of_tree : Randkit.Rng.t -> Split_tree.t -> oracle
+(** The counts path: occurrence vectors generated directly by recursive
+    binomial splitting over a shared {!Split_tree} — O(s·log(n/s)) per
+    call for [s] occupied elements, independent of the sample budget,
+    against the alias path's Θ(m).  Same sharing contract as [of_alias]
+    (immutable tree, one generator per concurrent oracle) and the same
+    multinomial/Poissonized law, but NOT the same draw stream: agreement
+    with the stream path is pinned distributionally (per-cell count
+    marginals, verdict distributions over trial ensembles), never
+    bit-exactly.  [stream] remains lawful — the counts are expanded and
+    uniformly shuffled, which is exactly the conditional law of an iid
+    sample sequence given its counts — but costs Θ(n + m); testers on
+    this path are expected to touch only [exact]/[poissonized]. *)
+
+val counts_of_tree_ws : Workspace.t -> Randkit.Rng.t -> Split_tree.t -> oracle
+(** Like [counts_of_tree] with the exact same draw stream for the same
+    generator, but allocation-free in the steady state: returned arrays
+    are views into [ws]'s buffers, overwritten by the oracle's next call
+    — the same lending contract (and the same caveats) as
+    [of_alias_ws]. *)
+
 val of_pmf_seeded : seed:int -> Pmf.t -> oracle

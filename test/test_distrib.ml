@@ -126,6 +126,118 @@ let test_draw_counts_agrees_with_draw () =
     true (tv < 0.01)
 
 
+(* --- Split_tree --- *)
+
+let test_split_tree_sums_to_m () =
+  let p = Families.zipf ~n:100 ~s:1. in
+  let t = Split_tree.of_pmf p in
+  Alcotest.(check int) "size" 100 (Split_tree.size t);
+  let r = rng () in
+  List.iter
+    (fun m ->
+      let counts = Split_tree.draw_counts t r m in
+      Alcotest.(check int) "length" 100 (Array.length counts);
+      Alcotest.(check bool) "nonnegative" true
+        (Array.for_all (fun c -> c >= 0) counts);
+      Alcotest.(check int)
+        (Printf.sprintf "sums to %d" m)
+        m
+        (Array.fold_left ( + ) 0 counts))
+    [ 0; 1; 7; 1000; 50_000 ]
+
+let test_split_tree_marginals () =
+  (* Leaf marginals are Binomial(m, p_i); check the means. *)
+  let p = Pmf.create [| 0.05; 0.15; 0.3; 0.5 |] in
+  let t = Split_tree.of_pmf p in
+  let r = rng () in
+  let m = 2000 and trials = 500 in
+  let acc = Array.make 4 0 in
+  for _ = 1 to trials do
+    let counts = Split_tree.draw_counts t r m in
+    for i = 0 to 3 do
+      acc.(i) <- acc.(i) + counts.(i)
+    done
+  done;
+  Array.iteri
+    (fun i a ->
+      let f = float_of_int a /. float_of_int (m * trials) in
+      Alcotest.(check bool)
+        (Printf.sprintf "marginal %d" i)
+        true
+        (Float.abs (f -. Pmf.get p i) < 0.01))
+    acc
+
+let test_split_tree_point_mass () =
+  let t = Split_tree.of_pmf (Pmf.point_mass ~n:10 7) in
+  let counts = Split_tree.draw_counts t (rng ()) 500 in
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check int)
+        (Printf.sprintf "cell %d" i)
+        (if i = 7 then 500 else 0)
+        c)
+    counts
+
+let test_split_tree_zero_mass_cells () =
+  (* Zero-mass leaves must never receive a count: their split is the
+     closed-form binomial at p in {0, 1}, which also consumes no
+     randomness. *)
+  let p = Pmf.create [| 0.5; 0.; 0.25; 0.; 0.; 0.25; 0.; 0. |] in
+  let t = Split_tree.of_pmf p in
+  let r = rng () in
+  for _ = 1 to 50 do
+    let counts = Split_tree.draw_counts t r 1000 in
+    Array.iteri
+      (fun i c ->
+        if Pmf.get p i = 0. then
+          Alcotest.(check int) (Printf.sprintf "zero cell %d" i) 0 c)
+      counts
+  done
+
+let test_split_tree_size_one () =
+  let t = Split_tree.of_pmf (Pmf.create [| 1. |]) in
+  let r = rng () in
+  let witness = Randkit.Rng.copy r in
+  Alcotest.(check (array int)) "all mass" [| 123 |]
+    (Split_tree.draw_counts t r 123);
+  Alcotest.(check int64) "no randomness for n=1"
+    (Randkit.Rng.bits64 witness) (Randkit.Rng.bits64 r)
+
+let test_split_tree_into_same_stream () =
+  let p = Families.zipf ~n:37 ~s:0.8 in
+  (* Non-power-of-two n exercises the padded leaves. *)
+  let t = Split_tree.of_pmf p in
+  let r1 = rng () in
+  let r2 = Randkit.Rng.copy r1 in
+  let alloc = Split_tree.draw_counts t r1 700 in
+  let counts = Array.make 37 (-1) in
+  Split_tree.draw_counts_into t r2 ~counts 700;
+  Alcotest.(check (array int)) "same counts" alloc counts;
+  Alcotest.(check int64) "same stream after"
+    (Randkit.Rng.bits64 r1) (Randkit.Rng.bits64 r2)
+
+let test_split_tree_into_zeroes_buffer () =
+  let p = Pmf.point_mass ~n:4 0 in
+  let t = Split_tree.of_pmf p in
+  let counts = Array.make 4 99 in
+  Split_tree.draw_counts_into t (rng ()) ~counts 5;
+  Alcotest.(check (array int)) "stale entries cleared" [| 5; 0; 0; 0 |] counts
+
+let test_split_tree_invalid () =
+  let t = Split_tree.of_pmf (Pmf.uniform 4) in
+  let raises f = match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "negative m" true
+    (raises (fun () -> Split_tree.draw_counts t (rng ()) (-1)));
+  Alcotest.(check bool) "short buffer" true
+    (raises (fun () ->
+         Split_tree.draw_counts_into t (rng ()) ~counts:(Array.make 3 0) 5));
+  Alcotest.(check bool) "long buffer" true
+    (raises (fun () ->
+         Split_tree.draw_counts_into t (rng ()) ~counts:(Array.make 5 0) 5))
+
 (* --- Distance --- *)
 
 let test_distance_identical () =
@@ -498,6 +610,16 @@ let prop_draw_many_into_same_stream =
       && Array.sub out m 3 = [| -1; -1; -1 |]
       && Alias.draw a r1 = Alias.draw a r2)
 
+let prop_split_tree_counts_sum =
+  QCheck.Test.make ~name:"split tree counts: in-range, sum to m" ~count:100
+    (QCheck.triple arb_pmf (QCheck.int_range 0 2000) gen_seed)
+    (fun (p, m, seed) ->
+      let t = Split_tree.of_pmf p in
+      let counts = Split_tree.draw_counts t (Randkit.Rng.create ~seed) m in
+      Array.length counts = Pmf.size p
+      && Array.for_all (fun c -> c >= 0) counts
+      && Array.fold_left ( + ) 0 counts = m)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "distrib"
@@ -526,6 +648,21 @@ let () =
           qc prop_draw_counts_is_fold_of_draw;
           qc prop_draw_counts_into_same_stream;
           qc prop_draw_many_into_same_stream;
+        ] );
+      ( "split-tree",
+        [
+          Alcotest.test_case "counts sum to m" `Quick test_split_tree_sums_to_m;
+          Alcotest.test_case "marginal means" `Quick test_split_tree_marginals;
+          Alcotest.test_case "point mass" `Quick test_split_tree_point_mass;
+          Alcotest.test_case "zero-mass cells" `Quick
+            test_split_tree_zero_mass_cells;
+          Alcotest.test_case "size one" `Quick test_split_tree_size_one;
+          Alcotest.test_case "into: same stream" `Quick
+            test_split_tree_into_same_stream;
+          Alcotest.test_case "into: zeroes buffer" `Quick
+            test_split_tree_into_zeroes_buffer;
+          Alcotest.test_case "invalid arguments" `Quick test_split_tree_invalid;
+          qc prop_split_tree_counts_sum;
         ] );
       ( "distance",
         [

@@ -184,6 +184,116 @@ let test_binomial_edges () =
   Alcotest.(check int) "p=1" 10 (Randkit.Sampler.binomial r ~n:10 ~p:1.);
   Alcotest.(check int) "n=0" 0 (Randkit.Sampler.binomial r ~n:0 ~p:0.5)
 
+let binomial_samplers =
+  [
+    ("binomial", Randkit.Sampler.binomial);
+    ("waiting_time", Randkit.Sampler.binomial_waiting_time);
+    ("btrs", Randkit.Sampler.binomial_btrs);
+  ]
+
+let test_binomial_guards () =
+  (* All three entry points share the argument contract, including NaN
+     (which old-style [p < 0. || p > 1.] guards silently let through). *)
+  List.iter
+    (fun (name, f) ->
+      List.iter
+        (fun (case, n, p) ->
+          let raised =
+            match f (rng ()) ~n ~p with
+            | exception Invalid_argument _ -> true
+            | _ -> false
+          in
+          Alcotest.(check bool) (name ^ ": " ^ case) true raised)
+        [
+          ("n = -1", -1, 0.5);
+          ("p < 0", 10, -0.1);
+          ("p > 1", 10, 1.1);
+          ("p nan", 10, Float.nan);
+        ])
+    binomial_samplers
+
+let test_binomial_exact_extremes () =
+  (* Every entry point at p in {0, 1} and n in {0, 1}: exact value, and —
+     load-bearing for split-tree zero-mass pruning — no randomness
+     consumed, checked by stream alignment against an untouched copy. *)
+  List.iter
+    (fun (name, f) ->
+      List.iter
+        (fun (n, p, expect) ->
+          let r = rng () in
+          let witness = Randkit.Rng.copy r in
+          Alcotest.(check int)
+            (Printf.sprintf "%s: n=%d p=%g" name n p)
+            expect (f r ~n ~p);
+          Alcotest.(check int64)
+            (Printf.sprintf "%s: n=%d p=%g consumed no randomness" name n p)
+            (Randkit.Rng.bits64 witness) (Randkit.Rng.bits64 r))
+        [ (0, 0., 0); (0, 1., 0); (0, 0.5, 0); (1, 0., 0); (1, 1., 1);
+          (42, 0., 0); (42, 1., 42) ])
+    binomial_samplers
+
+let test_binomial_cutoff_pinned () =
+  (* The BTRS/waiting-time dispatch threshold is part of the determinism
+     contract: moving it reshuffles every counts-path stream. *)
+  Alcotest.(check (float 0.)) "np cutoff" 10. Randkit.Sampler.binomial_btrs_cutoff
+
+let test_binomial_dispatch_streams () =
+  (* [binomial] must be stream-identical to the branch the pinned cutoff
+     selects, on both sides of it and under complement folding. *)
+  let check name ~n ~p reference =
+    let a = rng () and b = rng () in
+    for _ = 1 to 500 do
+      Alcotest.(check int) name
+        (reference a ~n ~p)
+        (Randkit.Sampler.binomial b ~n ~p)
+    done
+  in
+  check "np < cutoff: waiting time" ~n:50 ~p:0.1
+    Randkit.Sampler.binomial_waiting_time;
+  check "np >= cutoff: btrs" ~n:200 ~p:0.3 Randkit.Sampler.binomial_btrs;
+  check "p > 1/2, folded np < cutoff" ~n:50 ~p:0.9
+    Randkit.Sampler.binomial_waiting_time;
+  check "p > 1/2, folded np >= cutoff" ~n:200 ~p:0.7
+    Randkit.Sampler.binomial_btrs
+
+let test_binomial_waiting_moments () =
+  (* The reference branch keeps its own moment check now that plain
+     [binomial] at np = 30 routes to BTRS. *)
+  let r = rng () in
+  let n = 100 and p = 0.05 in
+  let draws =
+    Array.init 50_000 (fun _ ->
+        float_of_int (Randkit.Sampler.binomial_waiting_time r ~n ~p))
+  in
+  let mean, var = mean_and_var draws in
+  Alcotest.(check bool) "mean np" true (Float.abs (mean -. 5.) < 0.1);
+  Alcotest.(check bool) "var np(1-p)" true (Float.abs (var -. 4.75) < 0.3)
+
+let test_binomial_btrs_pmf_agreement () =
+  (* Empirical BTRS frequencies against the closed-form pmf via
+     log_binomial, across the mode and both shoulders. *)
+  let r = rng () in
+  let n = 100 and p = 0.3 in
+  let m = 100_000 in
+  let counts = Array.make (n + 1) 0 in
+  for _ = 1 to m do
+    let k = Randkit.Sampler.binomial_btrs r ~n ~p in
+    counts.(k) <- counts.(k) + 1
+  done;
+  List.iter
+    (fun k ->
+      let f = float_of_int counts.(k) /. float_of_int m in
+      let logp =
+        Numkit.Special.log_binomial n k
+        +. (float_of_int k *. log p)
+        +. (float_of_int (n - k) *. log (1. -. p))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "pmf at %d" k)
+        true
+        (Float.abs (f -. exp logp) < 0.006))
+    [ 20; 25; 30; 35; 40 ]
+
 let test_geometric_mean () =
   let r = rng () in
   let p = 0.25 in
@@ -326,6 +436,17 @@ let () =
           Alcotest.test_case "poisson zero" `Quick test_poisson_zero;
           Alcotest.test_case "binomial moments" `Quick test_binomial_moments;
           Alcotest.test_case "binomial edges" `Quick test_binomial_edges;
+          Alcotest.test_case "binomial guards" `Quick test_binomial_guards;
+          Alcotest.test_case "binomial exact extremes" `Quick
+            test_binomial_exact_extremes;
+          Alcotest.test_case "binomial cutoff pinned" `Quick
+            test_binomial_cutoff_pinned;
+          Alcotest.test_case "binomial dispatch streams" `Quick
+            test_binomial_dispatch_streams;
+          Alcotest.test_case "binomial waiting moments" `Quick
+            test_binomial_waiting_moments;
+          Alcotest.test_case "binomial btrs pmf agreement" `Quick
+            test_binomial_btrs_pmf_agreement;
           Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
           Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
           Alcotest.test_case "exponential mean" `Quick test_exponential_mean;

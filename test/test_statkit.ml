@@ -40,6 +40,218 @@ let test_stream () =
     (fun x -> Alcotest.(check bool) "in domain" true (x >= 0 && x < 8))
     xs
 
+(* --- counts-path oracles (split-tree binomial splitting) --- *)
+
+let test_counts_oracle_exact_sum () =
+  let p = Families.zipf ~n:48 ~s:1. in
+  let o = Poissonize.counts_of_tree (rng ()) (Split_tree.of_pmf p) in
+  Alcotest.(check int) "domain" 48 o.Poissonize.n;
+  List.iter
+    (fun m ->
+      Alcotest.(check int)
+        (Printf.sprintf "exact %d sums to m" m)
+        m
+        (Array.fold_left ( + ) 0 (o.Poissonize.exact m)))
+    [ 0; 1; 5000 ]
+
+let test_counts_oracle_poissonized_moments () =
+  (* Per-bin counts on the counts path are Poisson(mean * p_i), exactly as
+     on the stream path. *)
+  let p = Pmf.create [| 0.75; 0.25 |] in
+  let o = Poissonize.counts_of_tree (rng ()) (Split_tree.of_pmf p) in
+  let draws = Array.init 2000 (fun _ -> o.Poissonize.poissonized 100.) in
+  let bin0 = Array.map (fun c -> float_of_int c.(0)) draws in
+  let s = Numkit.Summary.of_array bin0 in
+  Alcotest.(check bool) "mean m*p" true
+    (Float.abs (Numkit.Summary.mean s -. 75.) < 1.5);
+  Alcotest.(check bool) "poisson variance" true
+    (Float.abs (Numkit.Summary.variance s -. 75.) < 12.)
+
+let test_counts_oracle_stream_lawful () =
+  (* [stream] on the counts path: right length, in-domain, and the sample
+     multiset is exactly the counts multiset (expand + shuffle). *)
+  let p = Families.zipf ~n:16 ~s:1. in
+  let tree = Split_tree.of_pmf p in
+  let o = Poissonize.counts_of_tree (rng ()) tree in
+  let xs = o.Poissonize.stream 400 in
+  Alcotest.(check int) "length" 400 (Array.length xs);
+  Array.iter
+    (fun x -> Alcotest.(check bool) "in domain" true (x >= 0 && x < 16))
+    xs;
+  (* Frequencies approach the pmf. *)
+  let counts = Empirical.counts_of_samples ~n:16 (o.Poissonize.stream 100_000) in
+  Alcotest.(check bool) "empirically close" true
+    (Distance.tv (Empirical.of_counts counts) p < 0.02)
+
+let test_counts_ws_matches_allocating () =
+  (* [counts_of_tree_ws] must consume the generator exactly like
+     [counts_of_tree]: same counts, same samples, same state after. *)
+  let p = Families.zipf ~n:64 ~s:1.2 in
+  let tree = Split_tree.of_pmf p in
+  let a = Poissonize.counts_of_tree (rng ()) tree in
+  let ws = Workspace.create () in
+  let w = Poissonize.counts_of_tree_ws ws (rng ()) tree in
+  Alcotest.(check bool) "exact identical" true
+    (a.Poissonize.exact 300 = Array.copy (w.Poissonize.exact 300));
+  Alcotest.(check bool) "poissonized identical" true
+    (a.Poissonize.poissonized 250. = Array.copy (w.Poissonize.poissonized 250.));
+  Alcotest.(check bool) "stream identical" true
+    (a.Poissonize.stream 100 = Array.copy (w.Poissonize.stream 100));
+  Alcotest.(check bool) "rng state identical after" true
+    (a.Poissonize.exact 10 = Array.copy (w.Poissonize.exact 10))
+
+let test_counts_ws_reuses_buffers () =
+  let tree = Split_tree.of_pmf (Pmf.uniform 32) in
+  let ws = Workspace.create () in
+  let o = Poissonize.counts_of_tree_ws ws (rng ()) tree in
+  let c1 = o.Poissonize.exact 100 in
+  let c2 = o.Poissonize.exact 100 in
+  Alcotest.(check bool) "same physical counts buffer" true (c1 == c2);
+  let s1 = o.Poissonize.stream 50 in
+  let s2 = o.Poissonize.stream 50 in
+  Alcotest.(check bool) "same physical samples buffer" true (s1 == s2)
+
+(* Constructor-invariant suite: every oracle constructor satisfies the
+   same contract, checked uniformly.  The workspace-backed ones lend
+   views; the others hand out fresh arrays — both are fine here because
+   each draw is consumed before the next. *)
+
+let oracle_constructors pmf =
+  let alias = Alias.of_pmf pmf in
+  let tree = Split_tree.of_pmf pmf in
+  [
+    ("of_pmf", fun () -> Poissonize.of_pmf (rng ()) pmf);
+    ("of_alias", fun () -> Poissonize.of_alias (rng ()) alias);
+    ( "of_alias_ws",
+      fun () -> Poissonize.of_alias_ws (Workspace.create ()) (rng ()) alias );
+    ("counts_of_tree", fun () -> Poissonize.counts_of_tree (rng ()) tree);
+    ( "counts_of_tree_ws",
+      fun () -> Poissonize.counts_of_tree_ws (Workspace.create ()) (rng ()) tree
+    );
+  ]
+
+let test_all_oracles_exact_sum () =
+  let pmf = Families.zipf ~n:40 ~s:1. in
+  List.iter
+    (fun (name, make) ->
+      let o = make () in
+      List.iter
+        (fun m ->
+          let counts = o.Poissonize.exact m in
+          Alcotest.(check int) (name ^ ": length") 40 (Array.length counts);
+          Alcotest.(check bool)
+            (name ^ ": nonnegative")
+            true
+            (Array.for_all (fun c -> c >= 0) counts);
+          Alcotest.(check int)
+            (Printf.sprintf "%s: exact %d sums to m" name m)
+            m
+            (Array.fold_left ( + ) 0 counts))
+        [ 0; 1; 777 ])
+    (oracle_constructors pmf)
+
+let test_all_oracles_stream_in_domain () =
+  let pmf = Families.zipf ~n:40 ~s:1. in
+  List.iter
+    (fun (name, make) ->
+      let o = make () in
+      let xs = o.Poissonize.stream 123 in
+      Alcotest.(check int) (name ^ ": stream length") 123 (Array.length xs);
+      Alcotest.(check bool)
+        (name ^ ": stream in domain")
+        true
+        (Array.for_all (fun x -> x >= 0 && x < 40) xs))
+    (oracle_constructors pmf)
+
+let test_all_oracles_poissonized_metering () =
+  (* Through a Budget_oracle, a poissonized draw is charged at its
+     realized total on every path — on the counts path that total is the
+     Poisson variable drawn at the tree root. *)
+  let pmf = Families.zipf ~n:40 ~s:1. in
+  List.iter
+    (fun (name, make) ->
+      let meter = Budget_oracle.wrap (make ()) in
+      let o = Budget_oracle.oracle meter in
+      let counts = o.Poissonize.poissonized 500. in
+      let realized = Array.fold_left ( + ) 0 counts in
+      Alcotest.(check int)
+        (name ^ ": poissonized charge = realized count")
+        realized (Budget_oracle.drawn meter))
+    (oracle_constructors pmf)
+
+(* --- chi^2 equivalence of the stream and counts paths --- *)
+
+let test_counts_vs_stream_chi2_marginals () =
+  (* Per-cell totals over independent Poissonized ensembles from each
+     path; under the null (same law) each cell of the two-sample
+     statistic is Binomial(a+b, 1/2), and the summed (a-b)^2/(a+b) is
+     chi^2(df).  Generous threshold: this guards against gross law
+     violations (a wrong split probability, a lost subtree), not 3-sigma
+     noise. *)
+  let n = 128 in
+  let pmf = Families.zipf ~n ~s:1.0 in
+  let trials = 400 and mean = 800. in
+  let totals o =
+    let acc = Array.make n 0 in
+    for _ = 1 to trials do
+      let counts = o.Poissonize.poissonized mean in
+      for i = 0 to n - 1 do
+        acc.(i) <- acc.(i) + counts.(i)
+      done
+    done;
+    acc
+  in
+  let a = totals (Poissonize.of_alias (rng ()) (Alias.of_pmf pmf)) in
+  let b =
+    totals
+      (Poissonize.counts_of_tree
+         (Randkit.Rng.create ~seed:271828)
+         (Split_tree.of_pmf pmf))
+  in
+  let stat = ref 0. and df = ref 0 in
+  for i = 0 to n - 1 do
+    let s = a.(i) + b.(i) in
+    if s > 0 then begin
+      let d = float_of_int (a.(i) - b.(i)) in
+      stat := !stat +. (d *. d /. float_of_int s);
+      incr df
+    end
+  done;
+  let p_value =
+    1. -. Numkit.Special.gamma_p (float_of_int !df /. 2.) (!stat /. 2.)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "chi2 %.1f on %d df (p = %.2g)" !stat !df p_value)
+    true (p_value > 1e-9)
+
+let test_counts_vs_stream_verdicts () =
+  (* Verdict distributions of Algorithm 1 must agree across paths: accept
+     rates over independent trial ensembles within two-proportion noise.
+     Small grid so the whole check stays test-suite-sized. *)
+  let trials = 200 in
+  List.iter
+    (fun (n, k, eps, pmf) ->
+      let rate kind =
+        Harness.accept_rate ~oracle:kind
+          ~rng:(Randkit.Rng.create ~seed:31337)
+          ~trials ~pmf
+          (fun trial ->
+            Histotest.Hist_tester.test ~ws:trial.Harness.ws
+              trial.Harness.oracle ~k ~eps)
+      in
+      let rs = rate Harness.Stream and rc = rate Harness.Counts in
+      let pooled = (rs +. rc) /. 2. in
+      let se = sqrt (pooled *. (1. -. pooled) *. 2. /. float_of_int trials) in
+      let z = if se > 0. then Float.abs (rs -. rc) /. se else 0. in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d k=%d eps=%g: stream %.3f vs counts %.3f (z=%.2f)"
+           n k eps rs rc z)
+        true (z <= 5.))
+    [
+      (512, 4, 0.25, Families.staircase ~n:512 ~k:4 ~rng:(rng ()));
+      (512, 4, 0.25, Families.comb ~n:512 ~teeth:8);
+    ]
+
 (* --- Chi2stat --- *)
 
 let test_chi2_zero_counts_match () =
@@ -600,6 +812,28 @@ let () =
             test_ws_oracle_matches_allocating;
           Alcotest.test_case "ws oracle reuses buffers" `Quick
             test_ws_oracle_reuses_buffers;
+        ] );
+      ( "counts-oracle",
+        [
+          Alcotest.test_case "exact sums" `Quick test_counts_oracle_exact_sum;
+          Alcotest.test_case "poissonized moments" `Quick
+            test_counts_oracle_poissonized_moments;
+          Alcotest.test_case "stream lawful" `Quick
+            test_counts_oracle_stream_lawful;
+          Alcotest.test_case "ws = allocating" `Quick
+            test_counts_ws_matches_allocating;
+          Alcotest.test_case "ws reuses buffers" `Quick
+            test_counts_ws_reuses_buffers;
+          Alcotest.test_case "all constructors: exact sums" `Quick
+            test_all_oracles_exact_sum;
+          Alcotest.test_case "all constructors: stream in domain" `Quick
+            test_all_oracles_stream_in_domain;
+          Alcotest.test_case "all constructors: poissonized metering" `Quick
+            test_all_oracles_poissonized_metering;
+          Alcotest.test_case "chi2 marginals: counts = stream" `Slow
+            test_counts_vs_stream_chi2_marginals;
+          Alcotest.test_case "verdict distributions: counts = stream" `Slow
+            test_counts_vs_stream_verdicts;
         ] );
       ( "amplify",
         [
