@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint bench-smoke bench-parallel bench-closest bench-counts bench clean
+.PHONY: all build test lint bench-smoke bench-parallel bench-closest bench-counts bench-merge bench clean
 
 all: build
 
@@ -42,6 +42,15 @@ bench-closest:
 # one machine-readable line to BENCH_counts.json.
 bench-counts:
 	dune exec bench/main.exe -- e19
+
+# The merge-topology gate (E20 quick mode): replays a fixed corpus
+# single-process and sharded (round-robin, shard-per-domain), merges
+# under fold and tree topologies, and requires the chi^2 statistic and
+# verdict to be BIT-IDENTICAL to the single-process run on every row —
+# plus the GK sketch-merge epsilon-bound check.  Non-zero exit on any
+# divergence; appends one machine-readable line to BENCH_merge.json.
+bench-merge:
+	dune exec bench/main.exe -- e20
 
 bench:
 	dune exec bench/main.exe

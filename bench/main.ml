@@ -30,6 +30,7 @@ let experiments =
     ("e17", E17_parallel.run);
     ("e18", E18_closest.run);
     ("e19", E19_counts.run);
+    ("e20", E20_merge.run);
   ]
 
 let () =
@@ -78,7 +79,7 @@ let () =
             match List.assoc_opt (String.lowercase_ascii name) experiments with
             | Some f -> Some (name, f)
             | None ->
-                Format.eprintf "unknown experiment %S (known: e1..e19)@." name;
+                Format.eprintf "unknown experiment %S (known: e1..e20)@." name;
                 None)
           names
   in

@@ -1,0 +1,173 @@
+(* histotestd — long-running histogram-testing service.
+
+   Serve mode (default): batched line-oriented JSON over stdin/stdout.
+   Each request is one JSON object per line (see Wire); shards accumulate
+   mergeable sufficient statistics and verdicts are recomputed from the
+   merged state, so the daemon never holds raw samples beyond the counts.
+
+     $ histotestd
+     {"cmd":"config","n":4096,"family":"staircase:4","eps":0.25}
+     {"cmd":"observe","shard":"edge-eu","xs":[17,803,2044]}
+     {"cmd":"verdict"}
+
+   Replay mode (--replay): prove the determinism contract — ingest a
+   corpus single-process and sharded (round-robin, shard-per-domain via
+   the parkit pool), merge under fold and tree topologies, and require
+   bit-identical statistics and verdicts.  Exit status 1 on any
+   divergence, so CI can gate on it. *)
+
+let read_corpus path =
+  let ic = open_in path in
+  let values = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" then values := int_of_string line :: !values
+     done
+   with
+  | End_of_file -> close_in ic
+  | e ->
+      close_in ic;
+      raise e);
+  Array.of_list (List.rev !values)
+
+let serve () =
+  let service = Service.create () in
+  let rec loop () =
+    match input_line stdin with
+    | exception End_of_file -> 0
+    | line when String.trim line = "" -> loop ()
+    | line ->
+        let resp, continue = Service.handle_line service line in
+        print_string (Jsonl.to_string resp);
+        print_newline ();
+        flush stdout;
+        if continue then loop () else 0
+  in
+  loop ()
+
+let replay ~file ~samples ~family ~n ~eps ~cells ~seed ~shards =
+  match Service.family_of_spec ~n ~seed family with
+  | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      1
+  | Ok dstar -> (
+      let corpus =
+        match file with
+        | Some path -> (
+            match read_corpus path with
+            | [||] ->
+                prerr_endline "error: empty corpus file";
+                [||]
+            | vs
+              when Array.exists (fun v -> v < 0 || v >= n) vs ->
+                prerr_endline "error: corpus values outside [0, n)";
+                [||]
+            | vs -> vs)
+        | None ->
+            (* Self-contained corpus: iid draws from the hypothesis
+               itself (seed + 1 keeps the draw stream distinct from the
+               family construction's). *)
+            let rng = Randkit.Rng.create ~seed:(seed + 1) in
+            let alias = Alias.of_pmf dstar in
+            Array.init samples (fun _ -> Alias.draw alias rng)
+      in
+      match corpus with
+      | [||] -> 1
+      | corpus ->
+          let cells =
+            match cells with Some c -> max 1 (min n c) | None -> min n 64
+          in
+          let part = Partition.equal_width ~n ~cells in
+          let report = Service.replay ~part ~dstar ~eps ~shards corpus in
+          Format.printf "replay: %d values, %d shards, n=%d eps=%g@."
+            report.Service.total report.Service.shards n eps;
+          Format.printf "single : %a  z=%.17g@." Verdict.pp
+            report.Service.single_verdict report.Service.single_z;
+          Format.printf "fold   : %a  z=%.17g@." Verdict.pp
+            report.Service.fold_verdict report.Service.fold_z;
+          Format.printf "tree   : %a  z=%.17g@." Verdict.pp
+            report.Service.tree_verdict report.Service.tree_z;
+          Format.printf "identical: %b@." report.Service.identical;
+          if report.Service.identical then 0 else 1)
+
+open Cmdliner
+
+let replay_flag =
+  Arg.(
+    value & flag
+    & info [ "replay" ]
+        ~doc:
+          "Replay a corpus single-process and sharded; exit non-zero \
+           unless verdicts and statistics are bit-identical.")
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "file" ] ~docv:"PATH"
+        ~doc:"Replay corpus, one integer per line (default: draw --samples \
+              iid values from the hypothesis).")
+
+let samples_arg =
+  Arg.(
+    value & opt int 100_000
+    & info [ "samples" ] ~docv:"M"
+        ~doc:"Corpus size when no --file is given.")
+
+let family_arg =
+  Arg.(
+    value
+    & opt string "staircase:4"
+    & info [ "family" ] ~docv:"FAMILY"
+        ~doc:"Hypothesis distribution (same vocabulary as histotest).")
+
+let n_arg =
+  Arg.(value & opt int 4096 & info [ "n"; "domain" ] ~docv:"N" ~doc:"Domain size.")
+
+let eps_arg =
+  Arg.(
+    value & opt float 0.25
+    & info [ "eps" ] ~docv:"EPS" ~doc:"Distance parameter.")
+
+let cells_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cells" ] ~docv:"C" ~doc:"Diagnostic partition cells.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let shards_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "shards" ] ~docv:"S" ~doc:"Shard count for --replay.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Pool domains for sharded ingest (results are identical at any \
+           value). 0 means $(b,HISTOTEST_JOBS) if set, otherwise all \
+           recommended cores.")
+
+let run replay_mode file samples family n eps cells seed shards jobs =
+  if jobs > 0 then Parkit.Pool.set_default ~jobs;
+  if replay_mode then
+    replay ~file ~samples ~family ~n ~eps ~cells ~seed ~shards
+  else serve ()
+
+let cmd =
+  let doc =
+    "histogram-testing service: merge per-shard sufficient statistics, \
+     serve incremental verdicts over line-oriented JSON"
+  in
+  Cmd.v
+    (Cmd.info "histotestd" ~version:"1.0.0" ~doc)
+    Term.(
+      const run $ replay_flag $ file_arg $ samples_arg $ family_arg $ n_arg
+      $ eps_arg $ cells_arg $ seed_arg $ shards_arg $ jobs_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -17,6 +17,14 @@ val add : t -> float -> unit
 val total : t -> float
 (** Current compensated total. *)
 
+val merge : t -> t -> t
+(** A fresh accumulator combining two shards' partial sums ({!Mergeable}
+    contract).  The principal sums are combined by an error-free two-sum
+    (their exact sum lands in [sum] + [comp]), so merging introduces no
+    rounding beyond what each shard's own additions committed; the result
+    still depends on how terms were grouped into shards, exactly as float
+    addition does.  Neither input is mutated. *)
+
 val sum_array : float array -> float
 (** Compensated sum of an array. *)
 

@@ -1,0 +1,35 @@
+(* The merge-monoid contract shared by every shardable piece of state in
+   the repository (sufficient statistics, stream sketches), plus the two
+   deterministic reduction topologies the service layer and the E20 bench
+   drive through it. *)
+
+module type S = sig
+  type t
+
+  val merge : t -> t -> t
+end
+
+module Fold (M : S) = struct
+  let reduce = function
+    | [||] -> invalid_arg "Mergeable.Fold.reduce: empty"
+    | parts ->
+        let acc = ref parts.(0) in
+        for i = 1 to Array.length parts - 1 do
+          acc := M.merge !acc parts.(i)
+        done;
+        !acc
+
+  let reduce_with ~identity parts = Array.fold_left M.merge identity parts
+
+  let rec tree_reduce_range parts lo hi =
+    (* [lo, hi), hi > lo.  Balanced split: depth ceil(log2 s) merges on
+       the longest path instead of s - 1. *)
+    if hi - lo = 1 then parts.(lo)
+    else
+      let mid = lo + ((hi - lo) / 2) in
+      M.merge (tree_reduce_range parts lo mid) (tree_reduce_range parts mid hi)
+
+  let tree_reduce = function
+    | [||] -> invalid_arg "Mergeable.Fold.tree_reduce: empty"
+    | parts -> tree_reduce_range parts 0 (Array.length parts)
+end

@@ -1,0 +1,33 @@
+(** Minimal JSON codec for the [histotestd] line protocol (the container
+    ships no JSON library).  One value per line; strict parsing (rejects
+    trailing garbage, unpaired surrogates, malformed numbers); printing is
+    deterministic — object fields keep construction order, integral
+    numbers print without a fractional part, other floats as ["%.17g"] so
+    they round-trip. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering (never emits a newline: strings escape
+    control characters).  Non-finite numbers render as [null]. *)
+
+val parse : string -> (t, string) result
+
+val member : string -> t -> t option
+(** First field with that key, on objects. *)
+
+val to_int : t -> int option
+(** Numbers with integral value within the OCaml [int] range. *)
+
+val to_float : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option
+
+val to_int_array : t -> int array option
+(** Arrays whose every element passes {!to_int}. *)

@@ -1,0 +1,304 @@
+(* The histotestd engine: per-shard Suffstat states, deterministic
+   left-fold merge in shard-arrival order, verdicts recomputed from the
+   merged state.
+
+   Determinism contract (pinned by the replay path and the E20 gate): the
+   verdict depends on the accumulated stream only through exact integer
+   counts, so ANY sharding of a stream, ingested in any interleaving that
+   preserves nothing but the multiset of observations, merged under ANY
+   topology, yields the verdict — and the statistic, bit for bit — of a
+   single process that saw the whole stream. *)
+
+module Suff_fold = Numkit.Mergeable.Fold (struct
+  type t = Suffstat.t
+
+  let merge = Suffstat.merge
+end)
+
+type config = {
+  n : int;
+  family : string;
+  eps : float;
+  cells : int;
+  seed : int;
+  dstar : Pmf.t;
+  part : Partition.t;
+}
+
+type t = {
+  mutable config : config option;
+  mutable shards : (string * Suffstat.t) list;
+      (* assoc list in first-arrival order: deterministic iteration (no
+         Hashtbl), and the service-side merge always folds in this
+         order *)
+}
+
+let create () = { config = None; shards = [] }
+
+let family_of_spec ~n ~seed spec =
+  let rng = Randkit.Rng.create ~seed in
+  let num = float_of_string and int = int_of_string in
+  match
+    match String.split_on_char ':' spec with
+    | [ "uniform" ] -> Some (Pmf.uniform n)
+    | [ "staircase"; k ] -> Some (Families.staircase ~n ~k:(int k) ~rng)
+    | [ "khist"; k ] -> Some (Families.random_khist ~n ~k:(int k) ~rng)
+    | [ "zipf"; s ] -> Some (Families.zipf ~n ~s:(num s))
+    | [ "geometric"; r ] -> Some (Families.geometric_like ~n ~ratio:(num r))
+    | [ "comb"; teeth ] -> Some (Families.comb ~n ~teeth:(int teeth))
+    | [ "bimodal" ] -> Some (Families.bimodal ~n)
+    | [ "spiked"; s ] ->
+        Some (Families.spiked ~n ~spikes:(int s) ~spike_mass:0.5 ~rng)
+    | [ "monotone"; p ] -> Some (Families.monotone_decreasing ~n ~power:(num p))
+    | _ -> None
+  with
+  | Some pmf -> Ok pmf
+  | None ->
+      Error
+        (Printf.sprintf
+           "unknown family %S (try uniform, staircase:K, khist:K, zipf:S, \
+            geometric:R, comb:T, bimodal, spiked:S, monotone:P)"
+           spec)
+  | exception Failure _ ->
+      Error (Printf.sprintf "bad numeric parameter in family %S" spec)
+  | exception Invalid_argument msg -> Error msg
+
+let default_cells n = min n 64
+
+let configure t ~n ~family ~eps ~cells ~seed =
+  if n < 1 then Error "n must be positive"
+  else if eps <= 0. || eps >= 1. then Error "eps outside (0, 1)"
+  else
+    match family_of_spec ~n ~seed family with
+    | Error _ as e -> e
+    | Ok dstar ->
+        let cells =
+          match cells with
+          | None -> default_cells n
+          | Some c -> max 1 (min n c)
+        in
+        let part = Partition.equal_width ~n ~cells in
+        let config = { n; family; eps; cells; seed; dstar; part } in
+        t.config <- Some config;
+        t.shards <- [];
+        Ok config
+
+let shard_state t name =
+  match t.config with
+  | None -> Error "not configured (send a config request first)"
+  | Some config -> (
+      match List.assoc_opt name t.shards with
+      | Some st -> Ok st
+      | None ->
+          let st = Suffstat.create ~part:config.part in
+          t.shards <- t.shards @ [ (name, st) ];
+          Ok st)
+
+let observe t ~shard xs =
+  match shard_state t shard with
+  | Error _ as e -> e
+  | Ok st -> (
+      match Suffstat.observe_all st xs with
+      | () -> Ok (Suffstat.total st)
+      | exception Invalid_argument msg -> Error msg)
+
+let observe_counts t ~shard counts =
+  match shard_state t shard with
+  | Error _ as e -> e
+  | Ok st -> (
+      match Suffstat.observe_counts st counts with
+      | () -> Ok (Suffstat.total st)
+      | exception Invalid_argument msg -> Error msg)
+
+let merged t =
+  match t.shards with
+  | [] -> None
+  | shards -> Some (Suff_fold.reduce (Array.of_list (List.map snd shards)))
+
+type verdict_info = {
+  verdict : Verdict.t;
+  z : float;
+  threshold : float;
+  total : int;
+  shard_count : int;
+}
+
+let verdict_info t =
+  match t.config with
+  | None -> Error "not configured (send a config request first)"
+  | Some config -> (
+      match merged t with
+      | None -> Error "no observations yet"
+      | Some st when Suffstat.total st = 0 -> Error "no observations yet"
+      | Some st ->
+          let stat =
+            Suffstat.statistic st ~dstar:config.dstar ~eps:config.eps
+          in
+          let threshold =
+            Chi2stat.accept_threshold ~m:stat.Chi2stat.m ~eps:config.eps
+          in
+          let verdict =
+            if stat.Chi2stat.z <= threshold then Verdict.Accept
+            else Verdict.Reject
+          in
+          Ok
+            {
+              verdict;
+              z = stat.Chi2stat.z;
+              threshold;
+              total = Suffstat.total st;
+              shard_count = List.length t.shards;
+            })
+
+let reset t = t.shards <- []
+
+(* --- one protocol step --- *)
+
+let handle_request t req =
+  match (req : Wire.request) with
+  | Wire.Config { n; family; eps; cells; seed } -> (
+      match configure t ~n ~family ~eps ~cells ~seed with
+      | Error msg -> (Wire.error msg, true)
+      | Ok config ->
+          ( Wire.ok
+              [
+                ("cmd", Jsonl.Str "config");
+                ("n", Jsonl.Num (float_of_int config.n));
+                ("family", Jsonl.Str config.family);
+                ("eps", Jsonl.Num config.eps);
+                ("cells", Jsonl.Num (float_of_int config.cells));
+                ("seed", Jsonl.Num (float_of_int config.seed));
+              ],
+            true ))
+  | Wire.Observe { shard; xs } -> (
+      match observe t ~shard xs with
+      | Error msg -> (Wire.error msg, true)
+      | Ok total ->
+          ( Wire.ok
+              [
+                ("cmd", Jsonl.Str "observe");
+                ("shard", Jsonl.Str shard);
+                ("added", Jsonl.Num (float_of_int (Array.length xs)));
+                ("shard_total", Jsonl.Num (float_of_int total));
+              ],
+            true ))
+  | Wire.Counts { shard; counts } -> (
+      match observe_counts t ~shard counts with
+      | Error msg -> (Wire.error msg, true)
+      | Ok total ->
+          ( Wire.ok
+              [
+                ("cmd", Jsonl.Str "counts");
+                ("shard", Jsonl.Str shard);
+                ("shard_total", Jsonl.Num (float_of_int total));
+              ],
+            true ))
+  | Wire.Verdict -> (
+      match verdict_info t with
+      | Error msg -> (Wire.error msg, true)
+      | Ok info ->
+          ( Wire.ok
+              [
+                ("cmd", Jsonl.Str "verdict");
+                ("verdict", Jsonl.Str (Verdict.to_string info.verdict));
+                ("z", Jsonl.Num info.z);
+                ("threshold", Jsonl.Num info.threshold);
+                ("total", Jsonl.Num (float_of_int info.total));
+                ("shards", Jsonl.Num (float_of_int info.shard_count));
+              ],
+            true ))
+  | Wire.Stats ->
+      let shards =
+        List.map
+          (fun (name, st) ->
+            Jsonl.Obj
+              [
+                ("name", Jsonl.Str name);
+                ("total", Jsonl.Num (float_of_int (Suffstat.total st)));
+              ])
+          t.shards
+      in
+      let total =
+        List.fold_left (fun acc (_, st) -> acc + Suffstat.total st) 0 t.shards
+      in
+      ( Wire.ok
+          [
+            ("cmd", Jsonl.Str "stats");
+            ("configured", Jsonl.Bool (Option.is_some t.config));
+            ("shards", Jsonl.List shards);
+            ("total", Jsonl.Num (float_of_int total));
+          ],
+        true )
+  | Wire.Reset ->
+      reset t;
+      (Wire.ok [ ("cmd", Jsonl.Str "reset") ], true)
+  | Wire.Quit -> (Wire.ok [ ("cmd", Jsonl.Str "quit") ], false)
+
+let handle_line t line =
+  match Wire.request_of_line line with
+  | Error msg -> (Wire.error msg, true)
+  | Ok req -> handle_request t req
+
+(* --- replay: the determinism gate --- *)
+
+type replay_report = {
+  shards : int;
+  total : int;
+  single_verdict : Verdict.t;
+  single_z : float;
+  fold_verdict : Verdict.t;
+  fold_z : float;
+  tree_verdict : Verdict.t;
+  tree_z : float;
+  identical : bool;
+}
+
+let replay ?pool ~part ~dstar ~eps ~shards values =
+  if shards < 1 then invalid_arg "Service.replay: shards < 1";
+  if Array.length values = 0 then invalid_arg "Service.replay: empty corpus";
+  let pool =
+    match pool with Some p -> p | None -> Parkit.Pool.get_default ()
+  in
+  let single = Suffstat.create ~part in
+  Suffstat.observe_all single values;
+  (* Round-robin sharding, intra-shard order preserved; each shard's
+     state is built on its own pool domain (shard-per-domain). *)
+  let parts =
+    Parkit.Pool.init pool shards (fun s ->
+        let st = Suffstat.create ~part in
+        let i = ref s in
+        while !i < Array.length values do
+          Suffstat.observe st values.(!i);
+          i := !i + shards
+        done;
+        st)
+  in
+  let z_and_verdict st =
+    let stat = Suffstat.statistic st ~dstar ~eps in
+    let threshold = Chi2stat.accept_threshold ~m:stat.Chi2stat.m ~eps in
+    ( stat.Chi2stat.z,
+      if stat.Chi2stat.z <= threshold then Verdict.Accept else Verdict.Reject )
+  in
+  let folded = Suff_fold.reduce parts in
+  let treed = Suff_fold.tree_reduce parts in
+  let single_z, single_verdict = z_and_verdict single in
+  let fold_z, fold_verdict = z_and_verdict folded in
+  let tree_z, tree_verdict = z_and_verdict treed in
+  let identical =
+    Suffstat.equal single folded && Suffstat.equal single treed
+    && Float.equal single_z fold_z
+    && Float.equal single_z tree_z
+    && Verdict.equal single_verdict fold_verdict
+    && Verdict.equal single_verdict tree_verdict
+  in
+  {
+    shards;
+    total = Array.length values;
+    single_verdict;
+    single_z;
+    fold_verdict;
+    fold_z;
+    tree_verdict;
+    tree_z;
+    identical;
+  }

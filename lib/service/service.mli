@@ -1,0 +1,97 @@
+(** The [histotestd] engine: testing as aggregation.
+
+    The service keeps one {!Suffstat} per shard (assoc list in
+    first-arrival order — deterministic iteration, no hash order), merges
+    them with a left fold in that order, and recomputes the accept/reject
+    verdict from the merged state on demand.  Because every
+    verdict-relevant field of [Suffstat] is integral, the served verdict
+    is bit-identical to a single process holding the concatenated stream,
+    whatever the sharding or merge topology — the contract [replay]
+    checks and the E20 bench gates. *)
+
+type config = {
+  n : int;
+  family : string;
+  eps : float;
+  cells : int;
+  seed : int;
+  dstar : Pmf.t;  (** the hypothesis distribution *)
+  part : Partition.t;  (** equal-width diagnostic partition, [cells] cells *)
+}
+
+type t
+
+val create : unit -> t
+
+val family_of_spec : n:int -> seed:int -> string -> (Pmf.t, string) result
+(** The CLI family vocabulary (["staircase:4"], ["zipf:1.2"], …) minus the
+    lower-bound instances. *)
+
+val configure :
+  t ->
+  n:int ->
+  family:string ->
+  eps:float ->
+  cells:int option ->
+  seed:int ->
+  (config, string) result
+(** Set the hypothesis; drops all shard state. *)
+
+val observe : t -> shard:string -> int array -> (int, string) result
+(** Batch-ingest observations into a shard (created on first use);
+    returns the shard's new total. *)
+
+val observe_counts : t -> shard:string -> int array -> (int, string) result
+(** Bulk-add a count vector into a shard; returns the shard's new total. *)
+
+val merged : t -> Suffstat.t option
+(** Left-fold merge of all shards in arrival order; [None] when no shard
+    exists yet.  Fresh state — the per-shard states are not mutated. *)
+
+type verdict_info = {
+  verdict : Verdict.t;
+  z : float;
+  threshold : float;
+  total : int;
+  shard_count : int;
+}
+
+val verdict_info : t -> (verdict_info, string) result
+(** Merge and test: the χ² statistic of the merged counts against the
+    configured hypothesis at the plug-in mean [m = total]. *)
+
+val reset : t -> unit
+(** Drop shard state, keep the configuration. *)
+
+val handle_request : t -> Wire.request -> Jsonl.t * bool
+val handle_line : t -> string -> Jsonl.t * bool
+(** One protocol step; the boolean is false after a [quit] request. *)
+
+type replay_report = {
+  shards : int;
+  total : int;
+  single_verdict : Verdict.t;
+  single_z : float;
+  fold_verdict : Verdict.t;
+  fold_z : float;
+  tree_verdict : Verdict.t;
+  tree_z : float;
+  identical : bool;
+      (** merged counts, statistics and verdicts all bit-equal to the
+          single-process run *)
+}
+
+val replay :
+  ?pool:Parkit.Pool.t ->
+  part:Partition.t ->
+  dstar:Pmf.t ->
+  eps:float ->
+  shards:int ->
+  int array ->
+  replay_report
+(** Prove the determinism contract on a concrete corpus: ingest the values
+    single-process, then round-robin across [shards] shard states (each
+    built on its own pool domain), merge under both the left-fold and the
+    balanced-tree topology, and compare counts, statistics and verdicts
+    bit for bit.  @raise Invalid_argument on an empty corpus or
+    [shards < 1]. *)

@@ -1,0 +1,37 @@
+(** The [histotestd] wire protocol: batched, line-oriented JSON.  Each
+    request is one JSON object on one line; each response one JSON object
+    on one line, with an ["ok"] boolean first.
+
+    Requests:
+    - [{"cmd":"config","n":N,"family":SPEC,"eps":E,"cells":C?,"seed":S?}] —
+      set the hypothesis; resets all shards.
+    - [{"cmd":"observe","shard":ID,"xs":[x,...]}] — batch-ingest raw
+      observations into a shard (created on first use).
+    - [{"cmd":"counts","shard":ID,"counts":[c_0,...,c_{n-1}]}] — bulk-add
+      a full count vector (another process's tallies).
+    - [{"cmd":"verdict"}] — merge all shards, return the incremental
+      accept/reject verdict.
+    - [{"cmd":"stats"}], [{"cmd":"reset"}], [{"cmd":"quit"}]. *)
+
+type request =
+  | Config of {
+      n : int;
+      family : string;
+      eps : float;
+      cells : int option;  (** diagnostic partition cells; default √n-ish *)
+      seed : int;
+    }
+  | Observe of { shard : string; xs : int array }
+  | Counts of { shard : string; counts : int array }
+  | Verdict
+  | Stats
+  | Reset
+  | Quit
+
+val request_of_line : string -> (request, string) result
+
+val ok : (string * Jsonl.t) list -> Jsonl.t
+(** [{"ok":true, ...fields}]. *)
+
+val error : string -> Jsonl.t
+(** [{"ok":false,"error":msg}]. *)

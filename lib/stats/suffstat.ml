@@ -1,0 +1,128 @@
+(* Mergeable sufficient statistics for sharded identity testing.
+
+   The chi-square statistic of Prop. 3.3 is a function of the final
+   per-element occurrence counts alone, and integer counts add exactly —
+   so the sufficient statistic a shard must ship is its count vector, and
+   "testing at scale" reduces to merging count vectors and recomputing the
+   statistic from the merged state.  That is the determinism contract the
+   histotestd service and the E20 gate pin: any merge topology over any
+   sharding of a stream yields bit-identical verdicts, because the
+   verdict-relevant state is integral.
+
+   Alongside the counts we keep per-cell Neumaier pairs of accumulated
+   observation *weight* (for weighted ingest and per-cell mass
+   diagnostics).  Those merge by error-free two-sum — the merge step
+   itself commits no rounding — but remain floats, so their exact bits
+   depend on how observations were grouped into shards; nothing
+   verdict-relevant reads them. *)
+
+type t = {
+  part : Partition.t;
+  counts : int array; (* per-element occurrence counts *)
+  cell_counts : int array;
+  mutable total : int;
+  mass_sum : float array; (* per-cell Neumaier weight accumulators *)
+  mass_comp : float array;
+}
+
+let create ~part =
+  let n = Partition.domain_size part in
+  let kk = Partition.cell_count part in
+  {
+    part;
+    counts = Array.make n 0;
+    cell_counts = Array.make kk 0;
+    total = 0;
+    mass_sum = Array.make kk 0.;
+    mass_comp = Array.make kk 0.;
+  }
+
+let empty_like t = create ~part:t.part
+
+let partition t = t.part
+let domain_size t = Partition.domain_size t.part
+let cell_count t = Partition.cell_count t.part
+let total t = t.total
+let counts t = t.counts
+let count t x = t.counts.(x)
+let cell_count_of t j = t.cell_counts.(j)
+let cell_mass t j = t.mass_sum.(j) +. t.mass_comp.(j)
+
+let add_weight t j w =
+  let sum = t.mass_sum.(j) in
+  let s = sum +. w in
+  if Float.abs sum >= Float.abs w then
+    t.mass_comp.(j) <- t.mass_comp.(j) +. ((sum -. s) +. w)
+  else t.mass_comp.(j) <- t.mass_comp.(j) +. ((w -. s) +. sum);
+  t.mass_sum.(j) <- s
+
+let observe ?(weight = 1.) t x =
+  if x < 0 || x >= domain_size t then
+    invalid_arg "Suffstat.observe: outside domain";
+  t.counts.(x) <- t.counts.(x) + 1;
+  t.total <- t.total + 1;
+  let j = Partition.find t.part x in
+  t.cell_counts.(j) <- t.cell_counts.(j) + 1;
+  add_weight t j weight
+
+let observe_all t xs = Array.iter (fun x -> observe t x) xs
+
+let observe_counts t counts =
+  if Array.length counts <> domain_size t then
+    invalid_arg "Suffstat.observe_counts: counts length mismatch";
+  Partition.iteri
+    (fun j cell ->
+      let cell_total = ref 0 in
+      Interval.iter
+        (fun i ->
+          let c = counts.(i) in
+          if c < 0 then invalid_arg "Suffstat.observe_counts: negative count";
+          t.counts.(i) <- t.counts.(i) + c;
+          cell_total := !cell_total + c)
+        cell;
+      t.cell_counts.(j) <- t.cell_counts.(j) + !cell_total;
+      t.total <- t.total + !cell_total;
+      add_weight t j (float_of_int !cell_total))
+    t.part
+
+let same_partition a b =
+  Partition.domain_size a.part = Partition.domain_size b.part
+  && List.equal Int.equal (Partition.breakpoints a.part)
+       (Partition.breakpoints b.part)
+
+let merge a b =
+  if not (same_partition a b) then
+    invalid_arg "Suffstat.merge: partition mismatch";
+  let n = domain_size a and kk = cell_count a in
+  let out = create ~part:a.part in
+  for i = 0 to n - 1 do
+    out.counts.(i) <- a.counts.(i) + b.counts.(i)
+  done;
+  for j = 0 to kk - 1 do
+    out.cell_counts.(j) <- a.cell_counts.(j) + b.cell_counts.(j);
+    (* Error-free two-sum of the principal sums; compensations add. *)
+    let sa = a.mass_sum.(j) and sb = b.mass_sum.(j) in
+    let s = sa +. sb in
+    let e =
+      if Float.abs sa >= Float.abs sb then (sa -. s) +. sb
+      else (sb -. s) +. sa
+    in
+    out.mass_sum.(j) <- s;
+    out.mass_comp.(j) <- a.mass_comp.(j) +. b.mass_comp.(j) +. e
+  done;
+  out.total <- a.total + b.total;
+  out
+
+let equal a b =
+  same_partition a b && a.total = b.total
+  && Array.for_all2 Int.equal a.counts b.counts
+  && Array.for_all2 Int.equal a.cell_counts b.cell_counts
+
+let statistic ?m t ~dstar ~eps =
+  let m = match m with Some m -> m | None -> float_of_int t.total in
+  Chi2stat.compute ~counts:t.counts ~m ~dstar ~part:t.part ~eps ()
+
+let verdict ?m t ~dstar ~eps =
+  let stat = statistic ?m t ~dstar ~eps in
+  let threshold = Chi2stat.accept_threshold ~m:stat.Chi2stat.m ~eps in
+  if stat.Chi2stat.z <= threshold then Verdict.Accept else Verdict.Reject

@@ -1,0 +1,75 @@
+(** Mergeable sufficient statistics: the per-shard state that turns
+    identity testing into aggregation.
+
+    The χ² statistic of Prop. 3.3 depends on the stream only through the
+    final per-element occurrence counts, and integer counts merge exactly
+    — so a shard's sufficient statistic is its count vector (plus per-cell
+    totals and Neumaier-compensated weight accumulators for diagnostics),
+    and a fleet of shards reaches the *bit-identical* verdict a single
+    process holding the whole stream would, under any merge topology.
+    This is the state [histotestd] keeps per shard and the E20 bench
+    merges at scale; it implements the {!Numkit.Mergeable.S} contract in
+    its exact flavor. *)
+
+type t
+
+val create : part:Partition.t -> t
+(** Fresh all-zero state over a partitioned domain — the merge identity
+    for its partition.  The partition only sets per-cell diagnostic
+    granularity; the total statistic and verdict are partition-independent
+    (the χ² total is a sum over elements). *)
+
+val empty_like : t -> t
+(** A fresh identity compatible with [t]. *)
+
+val partition : t -> Partition.t
+val domain_size : t -> int
+val cell_count : t -> int
+
+val observe : ?weight:float -> t -> int -> unit
+(** Ingest one observation (mutates [t]); [weight] (default 1.) feeds only
+    the per-cell mass accumulators, never the integer counts.
+    @raise Invalid_argument outside the domain. *)
+
+val observe_all : t -> int array -> unit
+(** Batch [observe] in array order, unit weights. *)
+
+val observe_counts : t -> int array -> unit
+(** Bulk-add a full count vector (e.g. another process's tallies); cell
+    masses accrue each cell's added count as one weight term.
+    @raise Invalid_argument on length mismatch or negative count. *)
+
+val total : t -> int
+val counts : t -> int array
+(** The live per-element counts — a view, not a copy; treat as read-only. *)
+
+val count : t -> int -> int
+val cell_count_of : t -> int -> int
+
+val cell_mass : t -> int -> float
+(** Compensated per-cell accumulated weight (diagnostics; float, so its
+    bits depend on shard grouping — see [merge]). *)
+
+val merge : t -> t -> t
+(** Merge monoid, exact flavor: counts and totals add integrally, so every
+    verdict-relevant field of the result is bitwise what a single-shard
+    run over both streams would hold — associative, commutative, with
+    [empty_like] as identity.  Cell-mass Neumaier pairs merge by
+    error-free two-sum (the merge adds no rounding, though the floats
+    still reflect shard grouping).  Neither input is mutated.
+    @raise Invalid_argument unless both sides share the partition. *)
+
+val equal : t -> t -> bool
+(** Equality of the verdict-relevant state: partition, total and exact
+    counts (cell masses excluded — they are grouping-dependent floats). *)
+
+val statistic : ?m:float -> t -> dstar:Pmf.t -> eps:float -> Chi2stat.t
+(** The ADK15 χ² statistic of the accumulated counts against hypothesis
+    [dstar], recomputed from the (merged) state; [m] defaults to the
+    accumulated total — the plug-in Poisson mean for service streams whose
+    budget *is* the traffic. *)
+
+val verdict : ?m:float -> t -> dstar:Pmf.t -> eps:float -> Verdict.t
+(** Accept iff the statistic is at or below
+    [Chi2stat.accept_threshold ~m ~eps].  Deterministic given the counts:
+    equal states yield equal verdicts, whatever sharding produced them. *)

@@ -9,6 +9,8 @@ type t = {
 let create ?(seed = 0x5EED) ~width ~depth () =
   if width < 1 || depth < 1 then
     invalid_arg "Count_min.create: width and depth must be positive";
+  if width > 1 lsl 30 then
+    invalid_arg "Count_min.create: width exceeds 2^30";
   let sm = Randkit.Splitmix64.create (Int64.of_int seed) in
   {
     width;
@@ -32,7 +34,15 @@ let hash t row x =
     Int64.mul (Int64.logxor (Int64.of_int x) t.seeds.(row)) 0x9E3779B97F4A7C15L
   in
   let h = Int64.logxor h (Int64.shift_right_logical h 29) in
-  Int64.to_int (Int64.rem (Int64.logand h Int64.max_int) (Int64.of_int t.width))
+  (* Range reduction by multiply-shift (Lemire's fastrange) on the top 32
+     hash bits: (top * width) >> 32 maps uniformly onto [0, width) for any
+     width, where the previous Int64.rem over a non-power-of-two width
+     biased low buckets by up to 2^-32 per bucket *systematically* — a
+     skew the min-of-rows estimate inherits on every row.  width <= 2^30
+     (checked in create) keeps the product inside 62 bits. *)
+  let top = Int64.shift_right_logical h 32 in
+  Int64.to_int
+    (Int64.shift_right_logical (Int64.mul top (Int64.of_int t.width)) 32)
 
 let add ?(count = 1) t x =
   if count < 0 then invalid_arg "Count_min.add: negative count";
@@ -51,6 +61,28 @@ let estimate t x =
   !best
 
 let total t = t.total
+
+let compatible a b =
+  a.width = b.width && a.depth = b.depth
+  && Array.length a.seeds = Array.length b.seeds
+  && Array.for_all2 Int64.equal a.seeds b.seeds
+
+let merge a b =
+  (* Row-wise integer add: each counter of the merged sketch is exactly
+     the counter a single sketch would hold after seeing both streams —
+     but only if both sides hash identically, hence the seed/shape
+     validation. *)
+  if not (compatible a b) then
+    invalid_arg "Count_min.merge: incompatible sketches (width/depth/seeds)";
+  {
+    width = a.width;
+    depth = a.depth;
+    seeds = a.seeds;
+    rows =
+      Array.init a.depth (fun r ->
+          Array.init a.width (fun j -> a.rows.(r).(j) + b.rows.(r).(j)));
+    total = a.total + b.total;
+  }
 
 let heavy_hitters t ~threshold ~universe =
   if threshold <= 0. || threshold > 1. then

@@ -9,6 +9,9 @@
 type t
 
 val create : ?seed:int -> width:int -> depth:int -> unit -> t
+(** Bucket indices come from a multiply-shift hash with Lemire range
+    reduction (no modulo bias at any width).
+    @raise Invalid_argument unless 1 ≤ width ≤ 2³⁰ and depth ≥ 1. *)
 
 val for_error : ?seed:int -> eps:float -> delta:float -> unit -> t
 (** Standard sizing: width ⌈e/ε⌉, depth ⌈ln(1/δ)⌉. *)
@@ -19,6 +22,18 @@ val estimate : t -> int -> int
 (** Never below the true count; above by at most ε·N whp. *)
 
 val total : t -> int
+
+val compatible : t -> t -> bool
+(** Same width, depth and per-row hash seeds — the precondition for
+    [merge] (two sketches built with the same [create] arguments are
+    always compatible). *)
+
+val merge : t -> t -> t
+(** Merge monoid ({!Numkit.Mergeable.S}, exact flavor): counters add
+    row-wise, so the result is bitwise the sketch a single process would
+    have built over both streams — associative and commutative exactly,
+    with the same-shape empty sketch as identity.  Neither input is
+    mutated.  @raise Invalid_argument unless [compatible]. *)
 
 val heavy_hitters : t -> threshold:float -> universe:int -> (int * int) list
 (** Elements whose estimate reaches [threshold]·N, with their estimates

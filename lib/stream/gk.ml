@@ -41,6 +41,11 @@ let compress t =
   | first :: rest -> t.tuples <- first :: go rest
 
 let insert t x =
+  (* Count first: the SIGMOD'01 invariant g + delta <= floor(2 eps n)
+     refers to the stream length *including* the arriving observation, so
+     the new tuple's delta must come from the post-increment band — one
+     observation fresher than the band the old code used. *)
+  t.count <- t.count + 1;
   let band = capacity_band t in
   let rec place before after =
     match after with
@@ -55,7 +60,6 @@ let insert t x =
     | hd :: tl -> place (hd :: before) tl
   in
   t.tuples <- place [] t.tuples;
-  t.count <- t.count + 1;
   t.since_compress <- t.since_compress + 1;
   let period = max 1 (int_of_float (1. /. (2. *. t.eps))) in
   if t.since_compress >= period then begin
@@ -83,13 +87,69 @@ let quantile t q =
 let summary_size t = List.length t.tuples
 
 let rank_bounds t x =
+  (* True GK bounds.  rmin is the sum of g over tuples with v <= x; the
+     first tuple strictly above x (if any) caps the rank at
+     rmin + g_next + delta_next.  The old code returned
+     (rmin, rmin + capacity_band) for every query, which both understated
+     uncertainty (a covering tuple's g + delta can exceed the band right
+     after a merge) and overstated it at the extremes: a query below the
+     tracked minimum has rank exactly 0, and one at or above the tracked
+     maximum has rank exactly count. *)
   let rec walk rmin tuples =
     match tuples with
     | [] -> (rmin, rmin)
     | cur :: rest ->
-        if cur.v > x then (rmin, rmin)
+        if cur.v > x then
+          if rmin = 0 then
+            (* Only reachable at the head tuple, which stores the exact
+               tracked minimum: a query below it has rank exactly 0. *)
+            (0, 0)
+          else (rmin, min t.count (rmin + cur.g + cur.delta))
         else walk (rmin + cur.g) rest
   in
-  let lo, _ = walk 0 t.tuples in
-  let slack = capacity_band t in
-  (lo, min t.count (lo + slack))
+  let lo, hi = walk 0 t.tuples in
+  (max 0 lo, min t.count hi)
+
+let invariant_ok t =
+  (* The compression invariant, checkable from outside: every interior
+     tuple (the first tracks the exact minimum, the last the exact
+     maximum) satisfies g + delta <= floor(2 eps n).  While the band is
+     still 0 (n < 1/(2 eps)) the summary stores every observation exactly
+     with g = 1, delta = 0, so the meaningful floor is 1. *)
+  let band = max 1 (capacity_band t) in
+  let rec interior = function
+    | [] | [ _ ] -> true
+    | cur :: rest -> cur.g + cur.delta <= band && interior rest
+  in
+  match t.tuples with [] | [ _ ] -> true | _ :: rest -> interior rest
+
+let merge a b =
+  if not (Float.equal a.eps b.eps) then invalid_arg "Gk.merge: eps mismatch";
+  (* Interleave the two sorted tuple lists; a tuple keeps its g but
+     inflates delta by the rank uncertainty of its successor from the
+     *other* summary (g' + delta' - 1), the GK merge rule — mergeability
+     analysis per Agarwal et al., "Mergeable summaries" (PODS'12).  The
+     merged summary over n_a + n_b observations keeps the eps guarantee:
+     g + delta <= band_a + band_b <= floor(2 eps (n_a + n_b)) for interior
+     tuples, so the final compress works against the combined band. *)
+  let inflation = function
+    | [] -> 0
+    | next :: _ -> max 0 (next.g + next.delta - 1)
+  in
+  let rec interleave xs ys =
+    match (xs, ys) with
+    | [], rest | rest, [] -> rest
+    | x :: xs', y :: _ when x.v <= y.v ->
+        { x with delta = x.delta + inflation ys } :: interleave xs' ys
+    | _, y :: ys' -> { y with delta = y.delta + inflation xs } :: interleave xs ys'
+  in
+  let t =
+    {
+      eps = a.eps;
+      tuples = interleave a.tuples b.tuples;
+      count = a.count + b.count;
+      since_compress = 0;
+    }
+  in
+  compress t;
+  t

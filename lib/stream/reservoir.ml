@@ -24,3 +24,52 @@ let size t = min t.seen t.capacity
 let contents t =
   Array.to_list t.items
   |> List.filter_map (fun x -> x)
+
+let merge a b =
+  if a.capacity <> b.capacity then
+    invalid_arg "Reservoir.merge: capacity mismatch";
+  let out =
+    {
+      capacity = a.capacity;
+      rng = a.rng;
+      seen = a.seen + b.seen;
+      items = Array.make a.capacity None;
+    }
+  in
+  let xs = Array.of_list (contents a) and ys = Array.of_list (contents b) in
+  let sa = Array.length xs and sb = Array.length ys in
+  if sa + sb <= out.capacity then begin
+    (* Everything fits: keep both samples whole (in particular, merging
+       with an empty reservoir is the exact identity and consumes no
+       randomness). *)
+    Array.iteri (fun i x -> out.items.(i) <- Some x) xs;
+    Array.iteri (fun i y -> out.items.(sa + i) <- Some y) ys
+  end
+  else begin
+    (* Simulate drawing the combined without-replacement sample: each
+       slot comes from side a with probability pa/(pa+pb) where pa, pb
+       are the POPULATION counts still undrawn (hypergeometric, so side
+       a's expected share is capacity·seen_a/(seen_a+seen_b)); the item
+       itself is a Fisher–Yates pick from that side's remaining sample
+       prefix, which is itself a uniform subsample — the uniform-sample
+       merge of Agarwal et al. (PODS'12).  Decrementing the population
+       by the item's full represented weight instead would be successive
+       sampling, which under-represents the heavier side.  Randomness
+       comes from the left argument's generator, so a merge tree is
+       deterministic given shard order. *)
+    let pa = ref a.seen and pb = ref b.seen in
+    let ra = ref sa and rb = ref sb in
+    for slot = 0 to out.capacity - 1 do
+      let from_a =
+        !rb = 0
+        || (!ra > 0 && Randkit.Rng.int out.rng (!pa + !pb) < !pa)
+      in
+      let side, r, p = if from_a then (xs, ra, pa) else (ys, rb, pb) in
+      let j = Randkit.Rng.int out.rng !r in
+      out.items.(slot) <- Some side.(j);
+      side.(j) <- side.(!r - 1);
+      decr r;
+      decr p
+    done
+  end;
+  out

@@ -14,3 +14,17 @@ val size : 'a t -> int
 
 val contents : 'a t -> 'a list
 (** The retained sample, in storage order. *)
+
+val merge : 'a t -> 'a t -> 'a t
+(** Merge monoid ({!Numkit.Mergeable.S}, distributional flavor): a
+    reservoir over the concatenation of both input streams.  When the
+    retained samples fit jointly under [capacity] they are kept whole
+    (merging with an empty reservoir is the exact identity); otherwise
+    slots are filled by simulating the combined without-replacement draw:
+    each slot picks a side with probability proportional to its remaining
+    {e population} count (hypergeometric — side shares stay proportional
+    to [seen]) and a uniform item from that side's remaining sample
+    (Agarwal et al., PODS'12).  Consumes randomness from the *left*
+    argument's
+    generator (deterministic given shard order); inputs' samples are not
+    mutated.  @raise Invalid_argument if capacities differ. *)

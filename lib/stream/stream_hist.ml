@@ -20,6 +20,21 @@ let observe t x =
 
 let total t = t.total
 
+let merge a b =
+  if a.n <> b.n then invalid_arg "Stream_hist.merge: domain mismatch";
+  if a.buckets <> b.buckets then
+    invalid_arg "Stream_hist.merge: bucket-count mismatch";
+  (* Gk.merge validates the eps; exact counts add elementwise, so bucket
+     masses of the merged state are bitwise those of a single-stream
+     state, and only the boundary placement is eps-approximate. *)
+  {
+    n = a.n;
+    buckets = a.buckets;
+    sketch = Gk.merge a.sketch b.sketch;
+    counts = Array.init a.n (fun i -> a.counts.(i) + b.counts.(i));
+    total = a.total + b.total;
+  }
+
 let current_partition t =
   if t.total = 0 then Partition.trivial ~n:t.n
   else begin
@@ -34,8 +49,14 @@ let current_partition t =
     Partition.of_breakpoints ~n:t.n (List.sort_uniq Int.compare !breaks)
   end
 
+let realized_cells t = Partition.cell_count (current_partition t)
+
 let current_histogram t =
   if t.total = 0 then invalid_arg "Stream_hist.current_histogram: no data";
+  (* Computed over the *realized* partition — when duplicate quantile
+     cuts collapse (skewed data), this has fewer than [buckets] cells and
+     every array below is sized accordingly, so the histogram stays
+     well-formed rather than assuming [buckets] cells. *)
   let part = current_partition t in
   let cell_counts = Empirical.cell_counts part t.counts in
   let levels =

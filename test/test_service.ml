@@ -1,0 +1,413 @@
+(* servicekit: the exact half of the merge monoid (Suffstat, Kahan), the
+   JSON line protocol, and the replay determinism contract against the
+   harness's sample streams.
+
+   Every QCheck case is derived from one drawn seed through Randkit, so a
+   failure reproduces from the printed seed alone. *)
+
+let part_of ~n ~cells = Partition.equal_width ~n ~cells
+
+(* --- Suffstat: exact merge monoid --- *)
+
+let suffstat_case seed =
+  let r = Randkit.Rng.create ~seed in
+  let n = 32 + Randkit.Rng.int r 512 in
+  let cells = 1 + Randkit.Rng.int r (min n 64) in
+  let m = 200 + Randkit.Rng.int r 2_000 in
+  let part = part_of ~n ~cells in
+  let values = Array.init m (fun _ -> Randkit.Rng.int r n) in
+  (part, n, values)
+
+let ingest part values =
+  let st = Suffstat.create ~part in
+  Suffstat.observe_all st values;
+  st
+
+let slice values ~shards ~offset =
+  let out = ref [] in
+  let i = ref offset in
+  while !i < Array.length values do
+    out := values.(!i) :: !out;
+    i := !i + shards
+  done;
+  Array.of_list (List.rev !out)
+
+let z_of st ~dstar ~eps = (Suffstat.statistic st ~dstar ~eps).Chi2stat.z
+
+(* Split-stream merge is bit-identical to the whole stream: counts via
+   [equal], the statistic via [Float.equal] — not within tolerance. *)
+let prop_suffstat_split_exact =
+  QCheck.Test.make ~name:"Suffstat merge of split streams is bit-exact"
+    ~count:200
+    (QCheck.int_range 0 1_000_000)
+    (fun seed ->
+      let part, n, values = suffstat_case seed in
+      let shards = 2 + (seed mod 5) in
+      let whole = ingest part values in
+      let parts =
+        Array.init shards (fun s -> ingest part (slice values ~shards ~offset:s))
+      in
+      let merged = Array.fold_left Suffstat.merge (Suffstat.create ~part) parts in
+      let dstar = Pmf.uniform n and eps = 0.25 in
+      Suffstat.equal whole merged
+      && Float.equal (z_of whole ~dstar ~eps) (z_of merged ~dstar ~eps)
+      && Verdict.equal
+           (Suffstat.verdict whole ~dstar ~eps)
+           (Suffstat.verdict merged ~dstar ~eps))
+
+let prop_suffstat_monoid_laws =
+  QCheck.Test.make ~name:"Suffstat merge: associative, commutative, identity"
+    ~count:200
+    (QCheck.int_range 0 1_000_000)
+    (fun seed ->
+      let part, _, values = suffstat_case seed in
+      let third = Array.length values / 3 in
+      let a = ingest part (Array.sub values 0 third) in
+      let b = ingest part (Array.sub values third third) in
+      let c =
+        ingest part (Array.sub values (2 * third) (Array.length values - (2 * third)))
+      in
+      let id = Suffstat.empty_like a in
+      Suffstat.equal
+        (Suffstat.merge (Suffstat.merge a b) c)
+        (Suffstat.merge a (Suffstat.merge b c))
+      && Suffstat.equal (Suffstat.merge a b) (Suffstat.merge b a)
+      && Suffstat.equal (Suffstat.merge a id) a
+      && Suffstat.equal (Suffstat.merge id a) a)
+
+let test_suffstat_observe_counts () =
+  let n = 64 in
+  let part = part_of ~n ~cells:8 in
+  let r = Randkit.Rng.create ~seed:11 in
+  let counts = Array.init n (fun _ -> Randkit.Rng.int r 50) in
+  let via_counts = Suffstat.create ~part in
+  Suffstat.observe_counts via_counts counts;
+  let via_stream = Suffstat.create ~part in
+  Array.iteri
+    (fun x c ->
+      for _ = 1 to c do
+        Suffstat.observe via_stream x
+      done)
+    counts;
+  Alcotest.(check bool) "counts = stream" true
+    (Suffstat.equal via_counts via_stream);
+  Alcotest.(check bool) "negative counts rejected" true
+    (try
+       Suffstat.observe_counts via_counts (Array.make n (-1));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "length mismatch rejected" true
+    (try
+       Suffstat.observe_counts via_counts [| 1; 2 |];
+       false
+     with Invalid_argument _ -> true)
+
+let test_suffstat_matches_chi2 () =
+  (* The statistic is literally Chi2stat.compute on the accumulated
+     per-element counts — same m, same dstar, same partition. *)
+  let n = 128 in
+  let part = part_of ~n ~cells:16 in
+  let r = Randkit.Rng.create ~seed:5 in
+  let values = Array.init 4_000 (fun _ -> Randkit.Rng.int r n) in
+  let st = ingest part values in
+  let dstar = Families.zipf ~n ~s:1.0 and eps = 0.2 in
+  let direct =
+    Chi2stat.compute ~counts:(Suffstat.counts st)
+      ~m:(float_of_int (Suffstat.total st))
+      ~dstar ~part ~eps ()
+  in
+  Alcotest.(check bool) "z bit-equal" true
+    (Float.equal direct.Chi2stat.z (z_of st ~dstar ~eps))
+
+let test_kahan_merge () =
+  (* The merged accumulator total equals the compensated total of the
+     concatenation, up to the grouping already committed per shard; on an
+     adversarial cancellation pattern the merge must not lose the small
+     terms the shards worked to keep. *)
+  let a = Numkit.Kahan.create () and b = Numkit.Kahan.create () and whole = Numkit.Kahan.create () in
+  for i = 0 to 9_999 do
+    let x = if i mod 2 = 0 then 1e16 else 1.0 in
+    let y = if i mod 2 = 0 then -1e16 else 1.0 in
+    Numkit.Kahan.add a x;
+    Numkit.Kahan.add b y;
+    Numkit.Kahan.add whole x;
+    Numkit.Kahan.add whole y
+  done;
+  let merged = Numkit.Kahan.merge a b in
+  Alcotest.(check (float 1e-6)) "cancellation survives merge" 10_000.
+    (Numkit.Kahan.total merged);
+  Alcotest.(check (float 1e-6)) "matches one accumulator" (Numkit.Kahan.total whole)
+    (Numkit.Kahan.total merged)
+
+(* --- Jsonl codec --- *)
+
+let test_jsonl_roundtrip () =
+  let cases =
+    [
+      Jsonl.Null;
+      Jsonl.Bool true;
+      Jsonl.Num 0.;
+      Jsonl.Num (-12345.);
+      Jsonl.Num 0.1;
+      Jsonl.Num 1.7976931348623157e308;
+      Jsonl.Str "";
+      Jsonl.Str "plain";
+      Jsonl.Str "esc \" \\ \n \t \r \x00 bytes";
+      Jsonl.List [];
+      Jsonl.List [ Jsonl.Num 1.; Jsonl.Str "two"; Jsonl.Null ];
+      Jsonl.Obj [];
+      Jsonl.Obj
+        [
+          ("k", Jsonl.Num 3.);
+          ("nested", Jsonl.Obj [ ("l", Jsonl.List [ Jsonl.Bool false ]) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let s = Jsonl.to_string v in
+      Alcotest.(check bool)
+        (Printf.sprintf "single line %S" s)
+        false
+        (String.contains s '\n');
+      match Jsonl.parse s with
+      | Error e -> Alcotest.failf "%S failed to re-parse: %s" s e
+      | Ok v' ->
+          Alcotest.(check string)
+            (Printf.sprintf "round-trip %S" s)
+            s (Jsonl.to_string v'))
+    cases
+
+let test_jsonl_parse_strict () =
+  let ok = [ {|{"a":[1,2.5,-3e2],"b":"\u00e9\ud83d\ude00"}|}; "null"; "-0.5" ] in
+  List.iter
+    (fun s ->
+      match Jsonl.parse s with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%S rejected: %s" s e)
+    ok;
+  let bad =
+    [ ""; "{"; "{}extra"; "[1,]"; "nul"; "\"unterminated"; "\"\\ud800\"";
+      "01"; "+1"; "{\"a\" 1}" ]
+  in
+  List.iter
+    (fun s ->
+      match Jsonl.parse s with
+      | Ok _ -> Alcotest.failf "%S accepted" s
+      | Error _ -> ())
+    bad
+
+let test_jsonl_numbers () =
+  (* Integral values print without a fractional part and survive the int
+     round-trip the wire protocol relies on. *)
+  Alcotest.(check string) "integral" "42" (Jsonl.to_string (Jsonl.Num 42.));
+  Alcotest.(check string) "negative" "-7" (Jsonl.to_string (Jsonl.Num (-7.)));
+  Alcotest.(check string) "non-finite -> null" "null"
+    (Jsonl.to_string (Jsonl.Num Float.nan));
+  Alcotest.(check (option int)) "to_int" (Some 42)
+    (Jsonl.to_int (Jsonl.Num 42.));
+  Alcotest.(check (option int)) "to_int rejects fraction" None
+    (Jsonl.to_int (Jsonl.Num 1.5))
+
+(* --- service protocol --- *)
+
+let response t line =
+  let resp, continue = Service.handle_line t line in
+  (Jsonl.to_string resp, resp, continue)
+
+let is_ok resp = Jsonl.member "ok" resp = Some (Jsonl.Bool true)
+
+let test_service_protocol () =
+  let t = Service.create () in
+  let _, resp, cont = response t {|{"cmd":"verdict"}|} in
+  Alcotest.(check bool) "verdict before config fails" false (is_ok resp);
+  Alcotest.(check bool) "still running" true cont;
+  let _, resp, _ =
+    response t {|{"cmd":"config","n":256,"family":"uniform","eps":0.25,"seed":3}|}
+  in
+  Alcotest.(check bool) "config ok" true (is_ok resp);
+  let _, resp, _ =
+    response t {|{"cmd":"observe","shard":"a","xs":[0,1,2,3,4,5,6,7]}|}
+  in
+  Alcotest.(check bool) "observe ok" true (is_ok resp);
+  Alcotest.(check (option int)) "shard total" (Some 8)
+    (Option.bind (Jsonl.member "shard_total" resp) Jsonl.to_int);
+  let _, resp, _ = response t {|{"cmd":"observe","shard":"b","xs":[100,200]}|} in
+  Alcotest.(check bool) "second shard ok" true (is_ok resp);
+  let _, resp, _ = response t {|{"cmd":"verdict"}|} in
+  Alcotest.(check bool) "verdict ok" true (is_ok resp);
+  Alcotest.(check (option int)) "verdict merges both shards" (Some 10)
+    (Option.bind (Jsonl.member "total" resp) Jsonl.to_int);
+  Alcotest.(check (option int)) "two shards" (Some 2)
+    (Option.bind (Jsonl.member "shards" resp) Jsonl.to_int);
+  let _, resp, _ = response t {|{"cmd":"observe","shard":"a","xs":[999]}|} in
+  Alcotest.(check bool) "out-of-domain rejected" false (is_ok resp);
+  let _, resp, _ = response t "not json" in
+  Alcotest.(check bool) "garbage rejected" false (is_ok resp);
+  let _, resp, _ = response t {|{"cmd":"reset"}|} in
+  Alcotest.(check bool) "reset ok" true (is_ok resp);
+  let _, resp, _ = response t {|{"cmd":"verdict"}|} in
+  Alcotest.(check bool) "no data after reset" false (is_ok resp);
+  let _, resp, cont = response t {|{"cmd":"quit"}|} in
+  Alcotest.(check bool) "quit ok" true (is_ok resp);
+  Alcotest.(check bool) "quit stops the loop" false cont
+
+let test_service_verdict_matches_suffstat () =
+  (* The served verdict is the Suffstat verdict of the merged shards —
+     same z to the last bit, read back through the JSON codec. *)
+  let n = 512 in
+  let t = Service.create () in
+  let _, resp, _ =
+    response t
+      {|{"cmd":"config","n":512,"family":"zipf:1.0","eps":0.2,"cells":32,"seed":9}|}
+  in
+  Alcotest.(check bool) "config ok" true (is_ok resp);
+  let r = Randkit.Rng.create ~seed:42 in
+  let values = Array.init 5_000 (fun _ -> Randkit.Rng.int r n) in
+  Array.iteri
+    (fun i x ->
+      let shard = Printf.sprintf "s%d" (i mod 3) in
+      let _, resp, _ =
+        response t
+          (Printf.sprintf {|{"cmd":"observe","shard":"%s","xs":[%d]}|} shard x)
+      in
+      if not (is_ok resp) then Alcotest.failf "observe %d failed" i)
+    values;
+  let _, resp, _ = response t {|{"cmd":"verdict"}|} in
+  Alcotest.(check bool) "verdict ok" true (is_ok resp);
+  let served_z =
+    Option.get (Option.bind (Jsonl.member "z" resp) Jsonl.to_float)
+  in
+  let dstar = Families.zipf ~n ~s:1.0 in
+  let st = Suffstat.create ~part:(part_of ~n ~cells:32) in
+  Suffstat.observe_all st values;
+  let expected = z_of st ~dstar ~eps:0.2 in
+  (* %.17g round-trips doubles exactly, so even the wire hop is lossless. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "served z %.17g = computed %.17g" served_z expected)
+    true
+    (Float.equal served_z expected)
+
+(* --- replay: the determinism contract, fed by harness streams --- *)
+
+let test_replay_identical () =
+  let n = 1024 and eps = 0.25 in
+  let dstar = Families.staircase ~n ~k:4 ~rng:(Randkit.Rng.create ~seed:1) in
+  let part = part_of ~n ~cells:64 in
+  let r = Randkit.Rng.create ~seed:7 in
+  let alias = Alias.of_pmf dstar in
+  let values = Array.init 30_000 (fun _ -> Alias.draw alias r) in
+  List.iter
+    (fun shards ->
+      let rep = Service.replay ~part ~dstar ~eps ~shards values in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d shards identical" shards)
+        true rep.Service.identical;
+      Alcotest.(check bool)
+        (Printf.sprintf "%d shards z bit-equal" shards)
+        true
+        (Float.equal rep.Service.single_z rep.Service.fold_z
+        && Float.equal rep.Service.single_z rep.Service.tree_z))
+    [ 1; 2; 3; 8; 17 ]
+
+let test_replay_matches_harness_trials () =
+  (* Pin the service path to the harness path: for each harness trial
+     (the Stream oracle's Poissonized counts), the sharded replay verdict
+     must equal the verdict computed directly from that trial's counts —
+     the service is a resharding of the harness, not a second opinion. *)
+  let n = 256 and eps = 0.25 in
+  let dstar = Families.staircase ~n ~k:4 ~rng:(Randkit.Rng.create ~seed:2) in
+  let part = part_of ~n ~cells:32 in
+  let m = 6_000. in
+  let agreements =
+    Harness.run_trials ~oracle:Harness.Stream
+      ~rng:(Randkit.Rng.create ~seed:13)
+      ~trials:10 ~pmf:dstar
+      (fun trial ->
+        let counts = Array.copy (trial.Harness.oracle.Poissonize.poissonized m) in
+        (* Expand the Poissonized counts back into a value stream so the
+           replay exercises per-observation sharding. *)
+        let stream =
+          Array.concat
+            (List.init n (fun x -> Array.make counts.(x) x))
+        in
+        let direct = Suffstat.create ~part in
+        Suffstat.observe_counts direct counts;
+        let expected = Suffstat.verdict direct ~dstar ~eps in
+        let rep = Service.replay ~part ~dstar ~eps ~shards:4 stream in
+        rep.Service.identical
+        && Verdict.equal rep.Service.single_verdict expected
+        && Verdict.equal rep.Service.fold_verdict expected
+        && Verdict.equal rep.Service.tree_verdict expected)
+  in
+  Alcotest.(check bool) "every trial agrees" true
+    (Array.for_all (fun ok -> ok) agreements)
+
+let test_replay_rejects_bad_args () =
+  let part = part_of ~n:16 ~cells:4 in
+  let dstar = Pmf.uniform 16 in
+  List.iter
+    (fun (name, f) ->
+      Alcotest.(check bool) name true
+        (try
+           ignore (f ());
+           false
+         with Invalid_argument _ -> true))
+    [
+      ( "empty corpus",
+        fun () -> Service.replay ~part ~dstar ~eps:0.25 ~shards:2 [||] );
+      ( "zero shards",
+        fun () -> Service.replay ~part ~dstar ~eps:0.25 ~shards:0 [| 1 |] );
+    ]
+
+let test_family_of_spec () =
+  List.iter
+    (fun spec ->
+      match Service.family_of_spec ~n:128 ~seed:1 spec with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%s rejected: %s" spec e)
+    [
+      "uniform"; "staircase:4"; "khist:8"; "zipf:1.1"; "geometric:0.9";
+      "comb:5"; "bimodal"; "spiked:3"; "monotone:1.5";
+    ];
+  List.iter
+    (fun spec ->
+      match Service.family_of_spec ~n:128 ~seed:1 spec with
+      | Ok _ -> Alcotest.failf "%s accepted" spec
+      | Error _ -> ())
+    [ "nonsense"; "staircase"; "staircase:x"; "zipf" ]
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "service"
+    [
+      ( "suffstat",
+        [
+          qc prop_suffstat_split_exact;
+          qc prop_suffstat_monoid_laws;
+          Alcotest.test_case "observe_counts" `Quick test_suffstat_observe_counts;
+          Alcotest.test_case "matches chi2stat" `Quick test_suffstat_matches_chi2;
+          Alcotest.test_case "kahan merge" `Quick test_kahan_merge;
+        ] );
+      ( "jsonl",
+        [
+          Alcotest.test_case "round-trip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "strict parse" `Quick test_jsonl_parse_strict;
+          Alcotest.test_case "numbers" `Quick test_jsonl_numbers;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "session" `Quick test_service_protocol;
+          Alcotest.test_case "verdict = suffstat" `Quick
+            test_service_verdict_matches_suffstat;
+          Alcotest.test_case "family specs" `Quick test_family_of_spec;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "identical across topologies" `Quick
+            test_replay_identical;
+          Alcotest.test_case "matches harness trials" `Quick
+            test_replay_matches_harness_trials;
+          Alcotest.test_case "bad args" `Quick test_replay_rejects_bad_args;
+        ] );
+    ]

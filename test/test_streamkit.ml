@@ -257,7 +257,279 @@ let test_cm_counted_adds () =
   Count_min.add cm 5;
   Alcotest.(check bool) "bulk add" true (Count_min.estimate cm 5 >= 42)
 
+(* --- GK bugfix pins: insert-time invariant and exact rank bounds --- *)
+
+(* g + delta <= max(1, floor(2*eps*n)) for interior tuples after EVERY
+   insert (the band used to be computed from the pre-increment count,
+   letting tuples slip in one band too wide). *)
+let test_gk_insert_invariant () =
+  let r = rng () in
+  let shapes =
+    [
+      ("random", Array.init 4_000 (fun _ -> Randkit.Rng.float r 1.));
+      ("sorted", Array.init 4_000 float_of_int);
+      ("reverse", Array.init 4_000 (fun i -> float_of_int (4_000 - i)));
+      ( "duplicates",
+        Array.init 4_000 (fun _ -> float_of_int (Randkit.Rng.int r 7)) );
+    ]
+  in
+  List.iter
+    (fun (name, stream) ->
+      List.iter
+        (fun eps ->
+          let g = Gk.create ~eps in
+          Array.iteri
+            (fun i x ->
+              Gk.insert g x;
+              if not (Gk.invariant_ok g) then
+                Alcotest.failf "%s eps=%g: invariant broken after insert %d"
+                  name eps (i + 1))
+            stream)
+        [ 0.01; 0.05 ])
+    shapes
+
+let test_gk_rank_bounds_exact () =
+  let g = Gk.create ~eps:0.05 in
+  for i = 1 to 1000 do
+    Gk.insert g (float_of_int i)
+  done;
+  (* Below the minimum the rank is exactly 0; at or above the maximum it
+     is exactly [count]. *)
+  Alcotest.(check (pair int int)) "below min" (0, 0) (Gk.rank_bounds g 0.5);
+  Alcotest.(check (pair int int))
+    "above max" (1000, 1000)
+    (Gk.rank_bounds g 5000.);
+  (* Interior queries: the bounds bracket the true rank and stay within
+     the 2*eps*n width the summary promises. *)
+  let width_limit = int_of_float (2. *. 0.05 *. 1000.) + 1 in
+  List.iter
+    (fun q ->
+      let lo, hi = Gk.rank_bounds g (float_of_int q) in
+      Alcotest.(check bool)
+        (Printf.sprintf "rank %d in [%d, %d]" q lo hi)
+        true
+        (lo <= q && q <= hi && hi - lo <= width_limit))
+    [ 1; 17; 250; 500; 750; 999; 1000 ]
+
+(* --- merge monoid --- *)
+
+(* One QCheck seed -> a stream, a shard count and a Gk eps; sketches of
+   the round-robin slices merged together must keep the GK invariant and
+   bracket true ranks exactly like a single-stream sketch would. *)
+let gk_merge_case seed =
+  let r = Randkit.Rng.create ~seed in
+  let n = 1_000 + Randkit.Rng.int r 3_000 in
+  let shards = 2 + Randkit.Rng.int r 4 in
+  let eps = [| 0.01; 0.02; 0.05 |].(Randkit.Rng.int r 3) in
+  let stream = Array.init n (fun _ -> Randkit.Rng.float r 1.) in
+  (stream, shards, eps)
+
+let gk_of_slice stream ~shards ~offset ~eps =
+  let g = Gk.create ~eps in
+  let i = ref offset in
+  while !i < Array.length stream do
+    Gk.insert g stream.(!i);
+    i := !i + shards
+  done;
+  g
+
+let gk_brackets_truth g stream ~eps =
+  let n = Array.length stream in
+  let sorted = Array.copy stream in
+  Array.sort Float.compare sorted;
+  let width_limit = int_of_float (2. *. eps *. float_of_int n) + 1 in
+  Gk.count g = n
+  && Gk.invariant_ok g
+  && List.for_all
+       (fun frac ->
+         let idx = int_of_float (frac *. float_of_int (n - 1)) in
+         let q = sorted.(idx) in
+         let r = idx + 1 in
+         let lo, hi = Gk.rank_bounds g q in
+         lo <= r && r <= hi && hi - lo <= width_limit)
+       [ 0.; 0.1; 0.25; 0.5; 0.75; 0.9; 1. ]
+
+let prop_gk_merge_split_stream =
+  QCheck.Test.make ~name:"Gk merge of split streams stays eps-valid"
+    ~count:60
+    (QCheck.int_range 0 1_000_000)
+    (fun seed ->
+      let stream, shards, eps = gk_merge_case seed in
+      let parts =
+        Array.init shards (fun s -> gk_of_slice stream ~shards ~offset:s ~eps)
+      in
+      let merged =
+        Array.fold_left
+          (fun acc g -> match acc with None -> Some g | Some a -> Some (Gk.merge a g))
+          None parts
+        |> Option.get
+      in
+      gk_brackets_truth merged stream ~eps)
+
+let prop_gk_merge_assoc =
+  QCheck.Test.make ~name:"Gk merge associative up to the eps contract"
+    ~count:40
+    (QCheck.int_range 0 1_000_000)
+    (fun seed ->
+      let stream, _, eps = gk_merge_case seed in
+      let parts =
+        Array.init 3 (fun s -> gk_of_slice stream ~shards:3 ~offset:s ~eps)
+      in
+      let l = Gk.merge (Gk.merge parts.(0) parts.(1)) parts.(2) in
+      let r = Gk.merge parts.(0) (Gk.merge parts.(1) parts.(2)) in
+      Gk.count l = Gk.count r
+      && gk_brackets_truth l stream ~eps
+      && gk_brackets_truth r stream ~eps)
+
+let test_gk_merge_identity () =
+  let r = rng () in
+  let eps = 0.02 in
+  let stream = Array.init 3_000 (fun _ -> Randkit.Rng.float r 1.) in
+  let g = Gk.create ~eps in
+  Array.iter (Gk.insert g) stream;
+  let left = Gk.merge (Gk.create ~eps) g in
+  let right = Gk.merge g (Gk.create ~eps) in
+  Alcotest.(check bool) "empty left identity" true
+    (gk_brackets_truth left stream ~eps);
+  Alcotest.(check bool) "empty right identity" true
+    (gk_brackets_truth right stream ~eps)
+
+let test_gk_merge_eps_mismatch () =
+  Alcotest.(check bool) "eps mismatch raises" true
+    (try
+       ignore (Gk.merge (Gk.create ~eps:0.01) (Gk.create ~eps:0.02));
+       false
+     with Invalid_argument _ -> true)
+
+(* Count-Min merge is exact: same-seed sketches over a split stream merge
+   to the bitwise sketch of the whole stream. *)
+let prop_cm_merge_exact =
+  QCheck.Test.make ~name:"Count_min merge = whole-stream sketch" ~count:100
+    (QCheck.int_range 0 1_000_000)
+    (fun seed ->
+      let r = Randkit.Rng.create ~seed in
+      let n = 500 + Randkit.Rng.int r 2_000 in
+      let universe = 1 + Randkit.Rng.int r 300 in
+      let width = 16 + Randkit.Rng.int r 100 in
+      let stream = Array.init n (fun _ -> Randkit.Rng.int r universe) in
+      let make () = Count_min.create ~seed ~width ~depth:4 () in
+      let whole = make () and a = make () and b = make () in
+      Array.iteri
+        (fun i x ->
+          Count_min.add whole x;
+          Count_min.add (if i mod 2 = 0 then a else b) x)
+        stream;
+      let merged = Count_min.merge a b in
+      Count_min.total merged = Count_min.total whole
+      && Array.for_all
+           (fun x -> Count_min.estimate merged x = Count_min.estimate whole x)
+           (Array.init universe (fun i -> i)))
+
+let test_cm_merge_identity_and_mismatch () =
+  let cm = Count_min.create ~seed:3 ~width:64 ~depth:4 () in
+  for i = 0 to 99 do
+    Count_min.add cm i
+  done;
+  let merged = Count_min.merge cm (Count_min.create ~seed:3 ~width:64 ~depth:4 ()) in
+  Alcotest.(check int) "identity total" (Count_min.total cm)
+    (Count_min.total merged);
+  Alcotest.(check bool) "identity estimates" true
+    (Array.for_all
+       (fun x -> Count_min.estimate merged x = Count_min.estimate cm x)
+       (Array.init 100 (fun i -> i)));
+  let other = Count_min.create ~seed:3 ~width:32 ~depth:4 () in
+  Alcotest.(check bool) "incompatible" false (Count_min.compatible cm other);
+  Alcotest.(check bool) "mismatch raises" true
+    (try
+       ignore (Count_min.merge cm other);
+       false
+     with Invalid_argument _ -> true)
+
+let test_reservoir_merge_small () =
+  (* When the union fits, the merge is the exact union — no randomness. *)
+  let a = Reservoir.create ~capacity:10 (rng ()) in
+  let b = Reservoir.create ~capacity:10 (rng ()) in
+  List.iter (Reservoir.add a) [ 1; 2; 3 ];
+  List.iter (Reservoir.add b) [ 4; 5; 6; 7 ];
+  let m = Reservoir.merge a b in
+  Alcotest.(check int) "size" 7 (Reservoir.size m);
+  Alcotest.(check int) "seen" 7 (Reservoir.seen m);
+  Alcotest.(check (list int)) "contents" [ 1; 2; 3; 4; 5; 6; 7 ]
+    (List.sort compare (Reservoir.contents m))
+
+let test_reservoir_merge_weighted () =
+  (* Sides represented ~proportionally to their seen counts: side a saw
+     3x the population of side b, so ~3/4 of merged slots come from a. *)
+  let r = rng () in
+  let trials = 2_000 and capacity = 10 in
+  let from_a = ref 0 in
+  for _ = 1 to trials do
+    let a = Reservoir.create ~capacity r in
+    let b = Reservoir.create ~capacity r in
+    for i = 1 to 300 do
+      Reservoir.add a i
+    done;
+    for i = 1001 to 1100 do
+      Reservoir.add b i
+    done;
+    let m = Reservoir.merge a b in
+    if Reservoir.size m <> capacity then
+      Alcotest.failf "merged size %d" (Reservoir.size m);
+    if Reservoir.seen m <> 400 then Alcotest.failf "seen %d" (Reservoir.seen m);
+    List.iter (fun x -> if x <= 300 then incr from_a) (Reservoir.contents m)
+  done;
+  let frac = float_of_int !from_a /. float_of_int (trials * capacity) in
+  Alcotest.(check bool)
+    (Printf.sprintf "fraction from a %.3f vs 0.75" frac)
+    true
+    (Float.abs (frac -. 0.75) < 0.02)
+
+let test_stream_hist_merge () =
+  let r = rng () in
+  let n = 512 in
+  let alias = Alias.of_pmf (Families.bimodal ~n) in
+  let whole = Stream_hist.create ~n ~buckets:8 ~eps:0.01 in
+  let a = Stream_hist.create ~n ~buckets:8 ~eps:0.01 in
+  let b = Stream_hist.create ~n ~buckets:8 ~eps:0.01 in
+  for i = 1 to 60_000 do
+    let x = Alias.draw alias r in
+    Stream_hist.observe whole x;
+    Stream_hist.observe (if i mod 2 = 0 then a else b) x
+  done;
+  let m = Stream_hist.merge a b in
+  Alcotest.(check int) "total" 60_000 (Stream_hist.total m);
+  let hm = Stream_hist.current_histogram m in
+  Alcotest.(check (float 1e-6)) "mass 1" 1. (Khist.total_mass hm);
+  let hw = Khist.to_pmf (Stream_hist.current_histogram whole) in
+  Alcotest.(check bool)
+    (Printf.sprintf "tv %.3f" (Distance.tv (Khist.to_pmf hm) hw))
+    true
+    (Distance.tv (Khist.to_pmf hm) hw < 0.05);
+  Alcotest.(check bool) "mismatch raises" true
+    (try
+       ignore
+         (Stream_hist.merge a (Stream_hist.create ~n:256 ~buckets:8 ~eps:0.01));
+       false
+     with Invalid_argument _ -> true)
+
+let test_stream_hist_realized_cells () =
+  (* A point-mass stream collapses the equi-depth breakpoints; the
+     realized partition owns up to it and the histogram stays valid. *)
+  let sh = Stream_hist.create ~n:1024 ~buckets:16 ~eps:0.01 in
+  for _ = 1 to 10_000 do
+    Stream_hist.observe sh 37
+  done;
+  let realized = Stream_hist.realized_cells sh in
+  Alcotest.(check bool)
+    (Printf.sprintf "realized %d < 16" realized)
+    true (realized < 16);
+  Alcotest.(check int) "partition agrees" realized
+    (Partition.cell_count (Stream_hist.current_partition sh));
+  let h = Stream_hist.current_histogram sh in
+  Alcotest.(check (float 1e-6)) "mass 1" 1. (Khist.total_mass h)
+
 let () =
+  let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "streamkit"
     [
       ( "gk",
@@ -269,6 +541,26 @@ let () =
           Alcotest.test_case "space" `Quick test_gk_space;
           Alcotest.test_case "empty/invalid" `Quick test_gk_empty_and_invalid;
           Alcotest.test_case "rank bounds" `Quick test_gk_rank_bounds;
+          Alcotest.test_case "insert invariant" `Quick test_gk_insert_invariant;
+          Alcotest.test_case "rank bounds exact" `Quick
+            test_gk_rank_bounds_exact;
+        ] );
+      ( "merge",
+        [
+          qc prop_gk_merge_split_stream;
+          qc prop_gk_merge_assoc;
+          Alcotest.test_case "gk identity" `Quick test_gk_merge_identity;
+          Alcotest.test_case "gk eps mismatch" `Quick
+            test_gk_merge_eps_mismatch;
+          qc prop_cm_merge_exact;
+          Alcotest.test_case "cm identity/mismatch" `Quick
+            test_cm_merge_identity_and_mismatch;
+          Alcotest.test_case "reservoir small" `Quick test_reservoir_merge_small;
+          Alcotest.test_case "reservoir weighted" `Quick
+            test_reservoir_merge_weighted;
+          Alcotest.test_case "stream_hist" `Quick test_stream_hist_merge;
+          Alcotest.test_case "stream_hist realized cells" `Quick
+            test_stream_hist_realized_cells;
         ] );
       ( "reservoir",
         [
