@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint bench-smoke bench-parallel bench-closest bench-counts bench-merge bench clean
+.PHONY: all build test lint bench-smoke bench-parallel bench-closest bench-counts bench-merge bench-serve bench clean
 
 all: build
 
@@ -51,6 +51,16 @@ bench-counts:
 # divergence; appends one machine-readable line to BENCH_merge.json.
 bench-merge:
 	dune exec bench/main.exe -- e20
+
+# The serve-path gate (E21 quick mode): the batched, pipelined engine
+# (wire fast path + shard-parallel ingest + one flush per batch) must
+# produce response transcripts BYTE-IDENTICAL to the unbatched
+# single-domain strict-parser serve at every (batch, jobs) grid point,
+# on both an accepting and a rejecting corpus.  Non-zero exit on any
+# divergence; also records ingest throughput, the single-core speedup
+# at batch >= 64, and structure-cache hit rates to BENCH_serve.json.
+bench-serve:
+	dune exec bench/main.exe -- e21
 
 bench:
 	dune exec bench/main.exe

@@ -31,6 +31,7 @@ let experiments =
     ("e18", E18_closest.run);
     ("e19", E19_counts.run);
     ("e20", E20_merge.run);
+    ("e21", E21_serve.run);
   ]
 
 let () =
@@ -79,7 +80,7 @@ let () =
             match List.assoc_opt (String.lowercase_ascii name) experiments with
             | Some f -> Some (name, f)
             | None ->
-                Format.eprintf "unknown experiment %S (known: e1..e20)@." name;
+                Format.eprintf "unknown experiment %S (known: e1..e21)@." name;
                 None)
           names
   in

@@ -10,41 +10,111 @@
      {"cmd":"observe","shard":"edge-eu","xs":[17,803,2044]}
      {"cmd":"verdict"}
 
+   The serve loop is batched and pipelined (PR 8): it blocks for one
+   request, drains up to --batch more that are already available, decodes
+   observe/counts lines through the zero-allocation wire fast path
+   (Service.Scan), ingests consecutive observe runs shard-parallel on the
+   parkit pool (--jobs), and answers with one buffered write per batch.
+   Responses are byte-identical to line-at-a-time single-domain serve at
+   any (batch, jobs) — the contract the E21 bench gates.
+
    Replay mode (--replay): prove the determinism contract — ingest a
    corpus single-process and sharded (round-robin, shard-per-domain via
    the parkit pool), merge under fold and tree topologies, and require
    bit-identical statistics and verdicts.  Exit status 1 on any
    divergence, so CI can gate on it. *)
 
-let read_corpus path =
-  let ic = open_in path in
-  let values = ref [] in
-  (try
-     while true do
-       let line = String.trim (input_line ic) in
-       if line <> "" then values := int_of_string line :: !values
-     done
-   with
-  | End_of_file -> close_in ic
-  | e ->
-      close_in ic;
-      raise e);
-  Array.of_list (List.rev !values)
+(* Buffered line reader over a raw fd: the serve loop needs to know
+   whether another line is available *without blocking* (to fill a
+   batch), which neither input_line nor in_channel buffering can answer.
+   Reads land in large chunks; availability = leftover buffered bytes or
+   a 0-timeout select on the fd. *)
+module Reader = struct
+  type t = {
+    fd : Unix.file_descr;
+    mutable buf : Bytes.t;
+    mutable pos : int; (* next unread byte *)
+    mutable len : int; (* valid bytes in buf *)
+    mutable eof : bool;
+  }
 
-let serve () =
+  let create fd =
+    { fd; buf = Bytes.create 65536; pos = 0; len = 0; eof = false }
+
+  let make_room r =
+    if r.pos > 0 then begin
+      Bytes.blit r.buf r.pos r.buf 0 (r.len - r.pos);
+      r.len <- r.len - r.pos;
+      r.pos <- 0
+    end;
+    if r.len = Bytes.length r.buf then begin
+      (* a line longer than the buffer: grow *)
+      let nb = Bytes.create (2 * Bytes.length r.buf) in
+      Bytes.blit r.buf 0 nb 0 r.len;
+      r.buf <- nb
+    end
+
+  (* Pull more bytes; false when nothing was added (EOF, or nothing
+     ready in non-blocking mode). *)
+  let refill r ~block =
+    if r.eof then false
+    else
+      let ready =
+        block
+        ||
+        match Unix.select [ r.fd ] [] [] 0.0 with
+        | [], _, _ -> false
+        | _ -> true
+      in
+      if not ready then false
+      else begin
+        make_room r;
+        let k = Unix.read r.fd r.buf r.len (Bytes.length r.buf - r.len) in
+        if k = 0 then begin
+          r.eof <- true;
+          false
+        end
+        else begin
+          r.len <- r.len + k;
+          true
+        end
+      end
+
+  let rec next_line r ~block =
+    let i = ref r.pos in
+    while !i < r.len && not (Char.equal (Bytes.get r.buf !i) '\n') do
+      incr i
+    done;
+    if !i < r.len then begin
+      let line = Bytes.sub_string r.buf r.pos (!i - r.pos) in
+      r.pos <- !i + 1;
+      Some line
+    end
+    else if r.eof then
+      if r.pos < r.len then begin
+        (* final line without a trailing newline, like input_line *)
+        let line = Bytes.sub_string r.buf r.pos (r.len - r.pos) in
+        r.pos <- r.len;
+        Some line
+      end
+      else None
+    else if refill r ~block then next_line r ~block
+    else if r.eof then next_line r ~block
+    else None
+end
+
+let serve ~batch ~fast_path =
   let service = Service.create () in
-  let rec loop () =
-    match input_line stdin with
-    | exception End_of_file -> 0
-    | line when String.trim line = "" -> loop ()
-    | line ->
-        let resp, continue = Service.handle_line service line in
-        print_string (Jsonl.to_string resp);
-        print_newline ();
-        flush stdout;
-        if continue then loop () else 0
+  let reader = Reader.create Unix.stdin in
+  let read_line ~block = Reader.next_line reader ~block in
+  let write buf =
+    Buffer.output_buffer stdout buf;
+    flush stdout
   in
-  loop ()
+  let _stats : Service.serve_stats =
+    Service.serve service ~batch ~fast_path ~read_line ~write
+  in
+  0
 
 let replay ~file ~samples ~family ~n ~eps ~cells ~seed ~shards =
   match Service.family_of_spec ~n ~seed family with
@@ -55,15 +125,17 @@ let replay ~file ~samples ~family ~n ~eps ~cells ~seed ~shards =
       let corpus =
         match file with
         | Some path -> (
-            match read_corpus path with
-            | [||] ->
+            match Service.corpus_of_file path with
+            | Error msg ->
+                prerr_endline ("error: " ^ msg);
+                [||]
+            | Ok [||] ->
                 prerr_endline "error: empty corpus file";
                 [||]
-            | vs
-              when Array.exists (fun v -> v < 0 || v >= n) vs ->
+            | Ok vs when Array.exists (fun v -> v < 0 || v >= n) vs ->
                 prerr_endline "error: corpus values outside [0, n)";
                 [||]
-            | vs -> vs)
+            | Ok vs -> vs)
         | None ->
             (* Self-contained corpus: iid draws from the hypothesis
                itself (seed + 1 keeps the draw stream distinct from the
@@ -111,16 +183,18 @@ let file_arg =
 
 let samples_arg =
   Arg.(
-    value & opt int 100_000
+    value
+    & opt (some int) None
     & info [ "samples" ] ~docv:"M"
-        ~doc:"Corpus size when no --file is given.")
+        ~doc:"Corpus size when no --file is given (default 100000).")
 
 let family_arg =
   Arg.(
     value
-    & opt string "staircase:4"
+    & opt (some string) None
     & info [ "family" ] ~docv:"FAMILY"
-        ~doc:"Hypothesis distribution (same vocabulary as histotest).")
+        ~doc:"Hypothesis distribution for --replay, same vocabulary as \
+              histotest (default staircase:4).")
 
 let n_arg =
   Arg.(value & opt int 4096 & info [ "n"; "domain" ] ~docv:"N" ~doc:"Domain size.")
@@ -141,23 +215,78 @@ let seed_arg =
 
 let shards_arg =
   Arg.(
-    value & opt int 8
-    & info [ "shards" ] ~docv:"S" ~doc:"Shard count for --replay.")
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"S"
+        ~doc:"Shard count for --replay (default 8).")
 
 let jobs_arg =
   Arg.(
     value & opt int 0
     & info [ "jobs" ] ~docv:"JOBS"
         ~doc:
-          "Pool domains for sharded ingest (results are identical at any \
+          "Pool domains for sharded ingest, in serve mode (batch \
+           shard-groups) and --replay alike (results are identical at any \
            value). 0 means $(b,HISTOTEST_JOBS) if set, otherwise all \
            recommended cores.")
 
-let run replay_mode file samples family n eps cells seed shards jobs =
+let batch_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "batch" ] ~docv:"B"
+        ~doc:
+          "Serve mode: execute up to $(docv) already-available requests \
+           per batch with one output flush (1 = line-at-a-time). \
+           Responses are byte-identical at any value.")
+
+let no_fast_path_flag =
+  Arg.(
+    value & flag
+    & info [ "no-fast-path" ]
+        ~doc:
+          "Serve mode: decode every line with the strict JSON parser \
+           instead of the observe/counts fast path (responses are \
+           byte-identical either way; useful for differential testing).")
+
+(* --file/--samples/--family/--shards configure only the replay corpus;
+   serve mode takes its hypothesis from `config` requests, so passing
+   them without --replay is a misuse worth flagging. *)
+let warn_replay_only_flags ~file ~samples ~family ~shards =
+  let passed =
+    List.filter_map
+      (fun (name, on) -> if on then Some name else None)
+      [
+        ("--file", Option.is_some file);
+        ("--samples", Option.is_some samples);
+        ("--family", Option.is_some family);
+        ("--shards", Option.is_some shards);
+      ]
+  in
+  match passed with
+  | [] -> ()
+  | names ->
+      Format.eprintf
+        "warning: %s only take effect with --replay; serve mode takes its \
+         hypothesis from `config` requests@."
+        (String.concat ", " names)
+
+let run replay_mode file samples family n eps cells seed shards jobs batch
+    no_fast_path =
   if jobs > 0 then Parkit.Pool.set_default ~jobs;
   if replay_mode then
-    replay ~file ~samples ~family ~n ~eps ~cells ~seed ~shards
-  else serve ()
+    replay ~file
+      ~samples:(Option.value samples ~default:100_000)
+      ~family:(Option.value family ~default:"staircase:4")
+      ~n ~eps ~cells ~seed
+      ~shards:(Option.value shards ~default:8)
+  else begin
+    warn_replay_only_flags ~file ~samples ~family ~shards;
+    if batch < 1 then begin
+      prerr_endline "error: --batch must be at least 1";
+      2
+    end
+    else serve ~batch ~fast_path:(not no_fast_path)
+  end
 
 let cmd =
   let doc =
@@ -168,6 +297,7 @@ let cmd =
     (Cmd.info "histotestd" ~version:"1.0.0" ~doc)
     Term.(
       const run $ replay_flag $ file_arg $ samples_arg $ family_arg $ n_arg
-      $ eps_arg $ cells_arg $ seed_arg $ shards_arg $ jobs_arg)
+      $ eps_arg $ cells_arg $ seed_arg $ shards_arg $ jobs_arg $ batch_arg
+      $ no_fast_path_flag)
 
 let () = exit (Cmd.eval' cmd)

@@ -204,6 +204,19 @@ let init t n f =
   if n < 0 then invalid_arg "Pool.init: negative length";
   map t f (Array.init n Fun.id)
 
+let iter t f arr =
+  let n = Array.length arr in
+  match t.state with
+  | None -> Array.iter f arr
+  | Some _ when n <= 1 || Domain.DLS.get in_task -> Array.iter f arr
+  | Some st ->
+      let chunk =
+        match t.grain with
+        | Some g -> g
+        | None -> default_grain ~jobs:t.jobs ~total:n
+      in
+      run st ~total:n ~chunk (fun i -> f arr.(i))
+
 let default_jobs () =
   match Sys.getenv_opt "HISTOTEST_JOBS" with
   | Some s -> (

@@ -74,6 +74,11 @@ val map : t -> ('a -> 'b) -> 'a array -> 'b array
 val init : t -> int -> (int -> 'a) -> 'a array
 (** [init pool n f] is [map] over indices [0 .. n-1], in index order. *)
 
+val iter : t -> ('a -> unit) -> 'a array -> unit
+(** [iter pool f arr] is {!map} for effectful [f], without building a
+    result array.  Same concurrency contract as [map]; the join orders
+    every effect of [f] before [iter] returns. *)
+
 val shutdown : t -> unit
 (** Join the worker domains.  The pool must not be used afterwards;
     shutting down [sequential] or an already-shut pool is a no-op. *)

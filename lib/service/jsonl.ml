@@ -68,6 +68,9 @@ let rec add buf = function
         fields;
       Buffer.add_char buf '}'
 
+let add_to_buffer buf v = add buf v
+let add_escaped buf s = escape_string buf s
+
 let to_string v =
   let buf = Buffer.create 256 in
   add buf v;

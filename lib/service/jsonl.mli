@@ -17,6 +17,15 @@ val to_string : t -> string
 (** Compact single-line rendering (never emits a newline: strings escape
     control characters).  Non-finite numbers render as [null]. *)
 
+val add_to_buffer : Buffer.t -> t -> unit
+(** Append [to_string v] to a buffer without the intermediate string —
+    the batched serve path renders a whole batch of responses into one
+    output buffer and flushes once. *)
+
+val add_escaped : Buffer.t -> string -> unit
+(** Append the JSON string literal (quotes and escapes included) exactly
+    as [to_string (Str s)] would. *)
+
 val parse : string -> (t, string) result
 
 val member : string -> t -> t option

@@ -1,0 +1,169 @@
+(* Zero-allocation wire fast path for the two hot request shapes.
+
+   The serve loop's cost under load is dominated by decoding
+   `observe`/`counts` lines: the strict parser builds a full Jsonl.t tree
+   (one boxed Num per array element, list cells, an assoc per object)
+   only for Wire to immediately flatten it back into an int array.  This
+   scanner recognizes the canonical byte form of those two lines with a
+   cursor over the raw bytes and decodes the payload integers directly
+   into a reusable workspace buffer — no tree, no per-element boxing
+   (the PR 2 workspace pattern, applied to the wire).
+
+   Subset contract (what keeps responses byte-identical): the scanner
+   only claims a line when the strict parser would accept it AND decode
+   it to the same request.  It recognizes exactly the canonical producer
+   form — no whitespace anywhere, fields in the order (cmd, shard,
+   xs|counts), a shard string with no escapes, plain integer elements of
+   <= 15 digits (well inside the range where the strict parser's float
+   round-trip is exact).  Anything else — other commands, whitespace,
+   reordered or extra fields, floats, huge integers, escapes, malformed
+   input — returns [None] and falls back to the strict parser, which
+   then produces exactly the response (or error message) it always did.
+   Declining a valid line is always safe: it is just served through the
+   slow parser.
+
+   Comparisons go through [Char.code] (an %identity external, so a
+   plain int compare): [Char.equal] is a genuine call per character
+   without flambda, and there are a few per payload element. *)
+
+type kind = Observe | Counts
+
+type hit = { kind : kind; shard : string; off : int; len : int }
+
+type t = { mutable buf : int array; mutable len : int }
+
+let create () = { buf = Array.make 4096 0; len = 0 }
+let clear t = t.len <- 0
+let length t = t.len
+let buffer t = t.buf
+
+let grow t =
+  let nb = Array.make (2 * Array.length t.buf) 0 in
+  Array.blit t.buf 0 nb 0 t.len;
+  t.buf <- nb
+
+exception Fail
+
+(* [line] starts with literal [s] (which is never empty). *)
+let prefix line n s =
+  let l = String.length s in
+  l <= n
+  &&
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < l do
+    if
+      Char.code (String.unsafe_get line !i)
+      <> Char.code (String.unsafe_get s !i)
+    then ok := false
+    else incr i
+  done;
+  !ok
+
+(* Literal [s] at the cursor. *)
+let lit line n pos s =
+  let l = String.length s in
+  if !pos + l > n then raise Fail;
+  for i = 0 to l - 1 do
+    if
+      Char.code (String.unsafe_get line (!pos + i))
+      <> Char.code (String.unsafe_get s i)
+    then raise Fail
+  done;
+  pos := !pos + l
+
+(* A JSON string with no escapes and no control bytes: decodes to the
+   raw span, exactly as the strict parser would. *)
+let simple_string line n pos =
+  if !pos >= n || Char.code (String.unsafe_get line !pos) <> Char.code '"'
+  then raise Fail;
+  incr pos;
+  let start = !pos in
+  let stop = ref (-1) in
+  while !stop < 0 do
+    if !pos >= n then raise Fail;
+    let c = Char.code (String.unsafe_get line !pos) in
+    if c = Char.code '"' then stop := !pos
+    else if c = Char.code '\\' || c < 0x20 then raise Fail
+    else incr pos
+  done;
+  incr pos;
+  String.sub line start (!stop - start)
+
+let observe_header = {|{"cmd":"observe","shard":|}
+let counts_header = {|{"cmd":"counts","shard":|}
+
+let scan t line =
+  let n = String.length line in
+  let start_len = t.len in
+  let pos = ref 0 in
+  try
+    let kind =
+      if prefix line n observe_header then begin
+        pos := String.length observe_header;
+        Observe
+      end
+      else if prefix line n counts_header then begin
+        pos := String.length counts_header;
+        Counts
+      end
+      else raise Fail
+    in
+    let shard = simple_string line n pos in
+    (match kind with
+    | Observe -> lit line n pos {|,"xs":[|}
+    | Counts -> lit line n pos {|,"counts":[|});
+    if !pos < n && Char.code (String.unsafe_get line !pos) = Char.code ']'
+    then incr pos
+    else begin
+      (* Element loop: value (',' value)* ']', fully inlined — it runs
+         once per payload element and is the scanner's hot loop.  A
+         payload integer is an optional '-', then 1..15 digits with no
+         leading zero; the byte after the digits decides: ',' next
+         value, ']' done, anything else (whitespace, '.', 'e', ...)
+         falls back to the strict parser. *)
+      let fin = ref false in
+      while not !fin do
+        let neg =
+          !pos < n && Char.code (String.unsafe_get line !pos) = Char.code '-'
+        in
+        if neg then incr pos;
+        let d0 = !pos in
+        let v = ref 0 in
+        while
+          !pos < n
+          &&
+          let d = Char.code (String.unsafe_get line !pos) - 48 in
+          0 <= d && d <= 9
+          && begin
+               v := (!v * 10) + d;
+               incr pos;
+               true
+             end
+        do
+          ()
+        done;
+        let digits = !pos - d0 in
+        if digits = 0 || digits > 15 then raise Fail;
+        if digits > 1 && Char.code (String.unsafe_get line d0) = Char.code '0'
+        then raise Fail;
+        if !pos >= n then raise Fail;
+        let c = Char.code (String.unsafe_get line !pos) in
+        (* inline [push]: grow is the rare path *)
+        if t.len = Array.length t.buf then grow t;
+        Array.unsafe_set t.buf t.len (if neg then - !v else !v);
+        t.len <- t.len + 1;
+        if c = Char.code ',' then incr pos
+        else if c = Char.code ']' then begin
+          incr pos;
+          fin := true
+        end
+        else raise Fail
+      done
+    end;
+    if !pos + 1 <> n || Char.code (String.unsafe_get line !pos) <> Char.code '}'
+    then raise Fail;
+    Some { kind; shard; off = start_len; len = t.len - start_len }
+  with Fail ->
+    t.len <- start_len;
+    None

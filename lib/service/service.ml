@@ -31,9 +31,19 @@ type t = {
       (* assoc list in first-arrival order: deterministic iteration (no
          Hashtbl), and the service-side merge always folds in this
          order *)
+  cache : Structcache.t;
+      (* built hypothesis structures keyed by config fingerprint, so
+         reconfigure-heavy workloads stop paying the O(n) rebuild *)
 }
 
-let create () = { config = None; shards = [] }
+let create ?cache_capacity () =
+  {
+    config = None;
+    shards = [];
+    cache = Structcache.create ?capacity:cache_capacity ();
+  }
+
+let cache_stats t = Structcache.stats t.cache
 
 let family_of_spec ~n ~seed spec =
   let rng = Randkit.Rng.create ~seed in
@@ -69,23 +79,34 @@ let configure t ~n ~family ~eps ~cells ~seed =
   if n < 1 then Error "n must be positive"
   else if eps <= 0. || eps >= 1. then Error "eps outside (0, 1)"
   else
-    match family_of_spec ~n ~seed family with
+    let cells =
+      match cells with None -> default_cells n | Some c -> max 1 (min n c)
+    in
+    (* The structures are deterministic in (n, family, seed, cells) and
+       immutable once built, so a cache hit is indistinguishable from a
+       rebuild — including the error path: build errors are not cached,
+       and [family_of_spec] runs inside the builder so its messages are
+       unchanged. *)
+    let key = Structcache.fingerprint ~n ~family ~seed ~cells in
+    match
+      Structcache.find_or_build t.cache ~key (fun () ->
+          match family_of_spec ~n ~seed family with
+          | Error _ as e -> e
+          | Ok dstar ->
+              Ok { Structcache.dstar; part = Partition.equal_width ~n ~cells })
+    with
     | Error _ as e -> e
-    | Ok dstar ->
-        let cells =
-          match cells with
-          | None -> default_cells n
-          | Some c -> max 1 (min n c)
-        in
-        let part = Partition.equal_width ~n ~cells in
+    | Ok { Structcache.dstar; part } ->
         let config = { n; family; eps; cells; seed; dstar; part } in
         t.config <- Some config;
         t.shards <- [];
         Ok config
 
+let err_not_configured = "not configured (send a config request first)"
+
 let shard_state t name =
   match t.config with
-  | None -> Error "not configured (send a config request first)"
+  | None -> Error err_not_configured
   | Some config -> (
       match List.assoc_opt name t.shards with
       | Some st -> Ok st
@@ -229,6 +250,18 @@ let handle_request t req =
             ("total", Jsonl.Num (float_of_int total));
           ],
         true )
+  | Wire.Cache_stats ->
+      let s = Structcache.stats t.cache in
+      ( Wire.ok
+          [
+            ("cmd", Jsonl.Str "cache_stats");
+            ("size", Jsonl.Num (float_of_int s.Structcache.size));
+            ("capacity", Jsonl.Num (float_of_int s.Structcache.capacity));
+            ("hits", Jsonl.Num (float_of_int s.Structcache.hits));
+            ("misses", Jsonl.Num (float_of_int s.Structcache.misses));
+            ("evictions", Jsonl.Num (float_of_int s.Structcache.evictions));
+          ],
+        true )
   | Wire.Reset ->
       reset t;
       (Wire.ok [ ("cmd", Jsonl.Str "reset") ], true)
@@ -302,3 +335,341 @@ let replay ?pool ~part ~dstar ~eps ~shards values =
     tree_z;
     identical;
   }
+
+(* --- batched, pipelined serve engine --- *)
+
+(* One parsed request slot.  The fast path keeps its payload as a span
+   into the batch arena; everything else is the strict parser's request
+   (or its error message). *)
+type slot = S_req of Wire.request | S_fast of Scan.hit | S_err of string
+
+(* Rendered responses.  The hot ingest responses carry just the fields
+   and are written to the output buffer directly — no Jsonl tree — with
+   bytes identical to [Jsonl.to_string (Wire.ok [...])] (pinned by a
+   unit test).  Integers here are exact in double, so [string_of_int]
+   matches the printer's "%.0f". *)
+type rendered =
+  | R_json of Jsonl.t
+  | R_observe_ok of { shard : string; added : int; total : int }
+  | R_counts_ok of { shard : string; total : int }
+  | R_error of string
+
+(* Digits straight into the buffer: [string_of_int] goes through the
+   generic %d formatter plus an allocation, and the hot responses carry
+   two integers each.  Counts are never [min_int], so negating is safe. *)
+let rec add_digits buf v =
+  if v >= 10 then add_digits buf (v / 10);
+  Buffer.add_char buf (Char.unsafe_chr (48 + (v mod 10)))
+
+let add_int buf v =
+  if v < 0 then begin
+    Buffer.add_char buf '-';
+    add_digits buf (-v)
+  end
+  else add_digits buf v
+
+let render buf = function
+  | R_json j -> Jsonl.add_to_buffer buf j
+  | R_observe_ok { shard; added; total } ->
+      Buffer.add_string buf {|{"ok":true,"cmd":"observe","shard":|};
+      Jsonl.add_escaped buf shard;
+      Buffer.add_string buf {|,"added":|};
+      add_int buf added;
+      Buffer.add_string buf {|,"shard_total":|};
+      add_int buf total;
+      Buffer.add_char buf '}'
+  | R_counts_ok { shard; total } ->
+      Buffer.add_string buf {|{"ok":true,"cmd":"counts","shard":|};
+      Jsonl.add_escaped buf shard;
+      Buffer.add_string buf {|,"shard_total":|};
+      add_int buf total;
+      Buffer.add_char buf '}'
+  | R_error msg ->
+      Buffer.add_string buf {|{"ok":false,"error":|};
+      Jsonl.add_escaped buf msg;
+      Buffer.add_char buf '}'
+
+let render_to_string r =
+  let buf = Buffer.create 64 in
+  render buf r;
+  Buffer.contents buf
+
+let rendered_observe_ok ~shard ~added ~shard_total =
+  render_to_string (R_observe_ok { shard; added; total = shard_total })
+
+let rendered_counts_ok ~shard ~shard_total =
+  render_to_string (R_counts_ok { shard; total = shard_total })
+
+let rendered_error msg = render_to_string (R_error msg)
+
+let is_ingest = function
+  | S_fast _ | S_req (Wire.Observe _) | S_req (Wire.Counts _) -> true
+  | S_req _ | S_err _ -> false
+
+let shard_of_slot = function
+  | S_fast { Scan.shard; _ }
+  | S_req (Wire.Observe { shard; _ })
+  | S_req (Wire.Counts { shard; _ }) ->
+      shard
+  | S_req _ | S_err _ -> assert false
+
+(* Module-level so the grouping loop allocates no closure per slot. *)
+let rec find_group groups shard =
+  match groups with
+  | [] -> None
+  | ((s, _, _) as g) :: rest ->
+      if String.equal s shard then Some g else find_group rest shard
+
+(* Execute one ingest slot against its shard state.  Mirrors [observe] /
+   [observe_counts] exactly — including partial ingestion before an
+   out-of-domain element, and the error messages. *)
+let exec_ingest_slot arena st slot =
+  match slot with
+  | S_fast { Scan.kind = Scan.Observe; shard; off; len } -> (
+      match Suffstat.observe_sub st arena ~pos:off ~len with
+      | () -> R_observe_ok { shard; added = len; total = Suffstat.total st }
+      | exception Invalid_argument msg -> R_error msg)
+  | S_fast { Scan.kind = Scan.Counts; shard; off; len } -> (
+      let counts = Array.sub arena off len in
+      match Suffstat.observe_counts st counts with
+      | () -> R_counts_ok { shard; total = Suffstat.total st }
+      | exception Invalid_argument msg -> R_error msg)
+  | S_req (Wire.Observe { shard; xs }) -> (
+      match Suffstat.observe_all st xs with
+      | () ->
+          R_observe_ok
+            { shard; added = Array.length xs; total = Suffstat.total st }
+      | exception Invalid_argument msg -> R_error msg)
+  | S_req (Wire.Counts { shard; counts }) -> (
+      match Suffstat.observe_counts st counts with
+      | () -> R_counts_ok { shard; total = Suffstat.total st }
+      | exception Invalid_argument msg -> R_error msg)
+  | S_req _ | S_err _ -> assert false
+
+(* A maximal run of consecutive ingest slots [i, j): group by shard
+   (shard states created sequentially in arrival order, so first-arrival
+   semantics and `stats` output are unchanged), then ingest the groups in
+   parallel — one pool domain owns a whole shard group, and items within
+   a group run in arrival order, so every shard state sees exactly the
+   sequence of mutations sequential serve would apply.  Each group
+   writes its own [resp] slots (disjoint indices, so parallel groups
+   never touch the same cell; the pool join orders those writes before
+   the render loop reads them). *)
+let exec_run t pool arena_ws slots resp i j =
+  if Option.is_none t.config then
+    for k = i to j - 1 do
+      resp.(k) <- R_error err_not_configured
+    done
+  else begin
+    let arena = Scan.buffer arena_ws in
+    let groups = ref [] in
+    (* rev order of first arrival; each group's slot list is also in rev
+       arrival order *)
+    for k = i to j - 1 do
+      let shard = shard_of_slot slots.(k) in
+      let ks =
+        match find_group !groups shard with
+        | Some (_, _, ks) -> ks
+        | None ->
+            let st =
+              match shard_state t shard with
+              | Ok st -> st
+              | Error _ -> assert false (* configured above *)
+            in
+            let ks = ref [] in
+            groups := (shard, st, ks) :: !groups;
+            ks
+      in
+      ks := k :: !ks
+    done;
+    match !groups with
+    | [ (_, st, ks) ] ->
+        (* single shard in the run (batch=1 included): no dispatch *)
+        List.iter
+          (fun k -> resp.(k) <- exec_ingest_slot arena st slots.(k))
+          (List.rev !ks)
+    | groups ->
+        let garr = Array.of_list (List.rev groups) in
+        let run_group (_, st, ks) =
+          (* iterate arrival-ordered so mutations happen in arrival
+             order *)
+          List.iter
+            (fun k -> resp.(k) <- exec_ingest_slot arena st slots.(k))
+            (List.rev !ks)
+        in
+        if Parkit.Pool.jobs pool = 1 then Array.iter run_group garr
+        else Parkit.Pool.iter pool run_group garr
+  end
+
+(* Execute a parsed batch in request order; non-ingest requests are
+   barriers (config/verdict/stats read or reset the shard registry).
+   Returns the index of a quit request, if any — slots after it are
+   dropped unanswered, exactly as sequential serve never reads them. *)
+let exec_batch t pool arena slots resp k =
+  let stop = ref None in
+  let i = ref 0 in
+  while !i < k && Option.is_none !stop do
+    if is_ingest slots.(!i) then begin
+      let j = ref (!i + 1) in
+      while !j < k && is_ingest slots.(!j) do
+        incr j
+      done;
+      exec_run t pool arena slots resp !i !j;
+      i := !j
+    end
+    else begin
+      (match slots.(!i) with
+      | S_err msg -> resp.(!i) <- R_error msg
+      | S_req req ->
+          let json, continue = handle_request t req in
+          resp.(!i) <- R_json json;
+          if not continue then stop := Some !i
+      | S_fast _ -> assert false);
+      incr i
+    end
+  done;
+  !stop
+
+type serve_stats = {
+  requests : int;
+  values : int;
+  fast_hits : int;
+  strict_parses : int;
+  batches : int;
+}
+
+(* Matches the whitespace class of [String.trim]: the legacy serve loop
+   skipped lines that trim to "". *)
+let is_blank line =
+  let n = String.length line in
+  let i = ref 0 in
+  while
+    !i < n
+    &&
+    match String.unsafe_get line !i with
+    | ' ' | '\t' | '\n' | '\r' | '\012' -> true
+    | _ -> false
+  do
+    incr i
+  done;
+  !i = n
+
+(* Batch fill stops once this many payload values are staged in the
+   arena (128 KiB of ints): batching amortizes syscalls and parallelizes
+   ingest, but an unbounded arena outgrows the cache — the ingest pass
+   re-reads spans the scanner has already evicted — and large-payload
+   batches get slower, not faster.  Small lines never hit this bound
+   (a 256-line batch of 16-value observes stages 4K values); it only
+   clips batches of huge payloads, where per-line syscall amortization
+   is negligible anyway. *)
+let arena_budget = 1 lsl 14
+
+let serve ?pool ?(batch = 1) ?(fast_path = true) t ~read_line ~write =
+  if batch < 1 then invalid_arg "Service.serve: batch < 1";
+  let pool =
+    match pool with Some p -> p | None -> Parkit.Pool.get_default ()
+  in
+  let arena = Scan.create () in
+  let out = Buffer.create 65536 in
+  let slots = Array.make batch (S_err "") in
+  let resp = Array.make batch (R_error "") in
+  let requests = ref 0
+  and values = ref 0
+  and fast_hits = ref 0
+  and strict_parses = ref 0
+  and batches = ref 0 in
+  let continue = ref true in
+  while !continue do
+    Scan.clear arena;
+    let k = ref 0 in
+    let eof = ref false in
+    let strict line =
+      incr strict_parses;
+      match Wire.request_of_line line with
+      | Error msg -> S_err msg
+      | Ok req ->
+          (match req with
+          | Wire.Observe { xs; _ } -> values := !values + Array.length xs
+          | Wire.Counts { counts; _ } ->
+              values := !values + Array.length counts
+          | _ -> ());
+          S_req req
+    in
+    (* Drain up to [batch] lines: block for the first request, then take
+       whatever more is already available without blocking.  Also stop
+       filling once the arena holds [arena_budget] decoded values: past
+       that, scanning ahead just evicts the very spans ingest is about
+       to read, and large-payload batches get slower, not faster. *)
+    let rec fill ~block =
+      if !k < batch && Scan.length arena < arena_budget then
+        match read_line ~block with
+        | None -> if block then eof := true
+        | Some line ->
+            if is_blank line then fill ~block
+            else begin
+              let slot =
+                if fast_path then
+                  match Scan.scan arena line with
+                  | Some h ->
+                      incr fast_hits;
+                      values := !values + h.Scan.len;
+                      S_fast h
+                  | None -> strict line
+                else strict line
+              in
+              slots.(!k) <- slot;
+              incr k;
+              fill ~block:false
+            end
+    in
+    fill ~block:true;
+    if !k = 0 then begin
+      if !eof then continue := false
+    end
+    else begin
+      incr batches;
+      let stop = exec_batch t pool arena slots resp !k in
+      let last = match stop with Some q -> q | None -> !k - 1 in
+      requests := !requests + last + 1;
+      Buffer.clear out;
+      for i = 0 to last do
+        render out resp.(i);
+        Buffer.add_char out '\n'
+      done;
+      write out;
+      if Option.is_some stop then continue := false
+    end
+  done;
+  {
+    requests = !requests;
+    values = !values;
+    fast_hits = !fast_hits;
+    strict_parses = !strict_parses;
+    batches = !batches;
+  }
+
+(* --- corpus files (shared by --replay and its error reporting) --- *)
+
+let corpus_of_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let values = ref [] in
+      let lineno = ref 0 in
+      let bad = ref None in
+      (try
+         while Option.is_none !bad do
+           let line = input_line ic in
+           incr lineno;
+           let line = String.trim line in
+           if String.length line > 0 then
+             match int_of_string_opt line with
+             | Some v -> values := v :: !values
+             | None ->
+                 bad := Some (Printf.sprintf "%s:%d: not an integer" path !lineno)
+         done
+       with End_of_file -> ());
+      close_in ic;
+      (match !bad with
+      | Some msg -> Error msg
+      | None -> Ok (Array.of_list (List.rev !values)))

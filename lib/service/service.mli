@@ -21,7 +21,13 @@ type config = {
 
 type t
 
-val create : unit -> t
+val create : ?cache_capacity:int -> unit -> t
+(** [cache_capacity] bounds the structure cache (default
+    {!Structcache.default_capacity}). *)
+
+val cache_stats : t -> Structcache.stats
+(** Introspection over the hypothesis-structure cache (also served as
+    the [cache_stats] wire request). *)
 
 val family_of_spec : n:int -> seed:int -> string -> (Pmf.t, string) result
 (** The CLI family vocabulary (["staircase:4"], ["zipf:1.2"], …) minus the
@@ -66,6 +72,57 @@ val reset : t -> unit
 val handle_request : t -> Wire.request -> Jsonl.t * bool
 val handle_line : t -> string -> Jsonl.t * bool
 (** One protocol step; the boolean is false after a [quit] request. *)
+
+type serve_stats = {
+  requests : int;  (** answered requests (quit drops the batch's tail) *)
+  values : int;  (** payload elements decoded across observe/counts *)
+  fast_hits : int;  (** lines decoded by the {!Scan} fast path *)
+  strict_parses : int;  (** lines that went through the strict parser *)
+  batches : int;  (** flushes — one per executed batch *)
+}
+
+val serve :
+  ?pool:Parkit.Pool.t ->
+  ?batch:int ->
+  ?fast_path:bool ->
+  t ->
+  read_line:(block:bool -> string option) ->
+  write:(Buffer.t -> unit) ->
+  serve_stats
+(** The batched, pipelined serve loop, abstracted over transport.
+
+    Per iteration: block for one request line, drain up to [batch - 1]
+    more that are available without blocking ([read_line ~block:false]
+    returning [None] just cuts the batch short; with [~block:true] it
+    means end of input), parse each line — {!Scan} fast path first when
+    [fast_path] (default true), strict parser otherwise — then execute
+    the batch and hand one buffer of newline-terminated responses to
+    [write] (one flush per batch).
+
+    Execution preserves the sequential semantics exactly: non-ingest
+    requests are barriers processed in request order; maximal runs of
+    consecutive observe/counts requests are grouped by shard and the
+    groups ingested in parallel on [pool] (default
+    [Parkit.Pool.get_default ()]) with per-shard arrival order intact,
+    so every [Suffstat] sees the mutation sequence sequential serve
+    would apply and the response transcript is byte-identical at any
+    (batch, jobs) — the contract E21 gates.  Responses come back in
+    request order; requests after a [quit] in the same batch are
+    dropped unanswered, exactly as a sequential loop would never have
+    read them.
+    @raise Invalid_argument if [batch < 1]. *)
+
+val rendered_observe_ok : shard:string -> added:int -> shard_total:int -> string
+val rendered_counts_ok : shard:string -> shard_total:int -> string
+val rendered_error : string -> string
+(** The direct renderings the batch path writes for the hot responses —
+    exposed so tests can pin them byte-for-byte against
+    [Jsonl.to_string (Wire.ok [...])] / [Wire.error]. *)
+
+val corpus_of_file : string -> (int array, string) result
+(** Read a replay corpus (one integer per line, blank lines skipped).
+    [Error "<path>:<lineno>: not an integer"] on the first malformed
+    line; [Error] with the system message if the file cannot be opened. *)
 
 type replay_report = {
   shards : int;

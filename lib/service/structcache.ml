@@ -1,0 +1,88 @@
+(* Bounded cache of built hypothesis structures.
+
+   Reconfigure-heavy and multi-hypothesis workloads send `config`
+   requests whose structures (the hypothesis Pmf, the diagnostic
+   Partition) are deterministic functions of a small canonical
+   fingerprint — (n, family spec, seed, cells) — yet were rebuilt from
+   scratch on every request.  Both structures are immutable after
+   construction (the service only ever reads them), so memoizing them is
+   semantically invisible; it only removes the O(n) rebuild from the
+   request path.
+
+   Eviction is deterministic: an LRU over an assoc list in
+   most-recently-used-first order (no Hashtbl, no clock).  Capacity is
+   small — the point is a working set of hypotheses, not an unbounded
+   registry. *)
+
+type entry = { dstar : Pmf.t; part : Partition.t }
+
+type t = {
+  capacity : int;
+  mutable entries : (string * entry) list; (* MRU first *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let default_capacity = 16
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Structcache.create: capacity < 1";
+  { capacity; entries = []; hits = 0; misses = 0; evictions = 0 }
+
+let fingerprint ~n ~family ~seed ~cells =
+  Printf.sprintf "n=%d;family=%s;seed=%d;cells=%d" n family seed cells
+
+(* Move-to-front lookup; [None] leaves the order untouched. *)
+let find t key =
+  let rec go acc = function
+    | [] -> None
+    | ((k, e) as kv) :: rest ->
+        if String.equal k key then begin
+          t.entries <- kv :: List.rev_append acc rest;
+          Some e
+        end
+        else go (kv :: acc) rest
+  in
+  go [] t.entries
+
+let truncate t =
+  let rec keep n = function
+    | [] -> []
+    | _ :: _ when n = 0 ->
+        t.evictions <- t.evictions + 1;
+        []
+    | kv :: rest -> kv :: keep (n - 1) rest
+  in
+  t.entries <- keep t.capacity t.entries
+
+let find_or_build t ~key build =
+  match find t key with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      Ok e
+  | None -> (
+      t.misses <- t.misses + 1;
+      match build () with
+      | Error _ as e -> e
+      | Ok entry ->
+          t.entries <- (key, entry) :: t.entries;
+          truncate t;
+          Ok entry)
+
+type stats = {
+  size : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+let stats t =
+  {
+    size = List.length t.entries;
+    capacity = t.capacity;
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+  }

@@ -13,6 +13,7 @@ type request =
   | Counts of { shard : string; counts : int array }
   | Verdict
   | Stats
+  | Cache_stats
   | Reset
   | Quit
 
@@ -57,6 +58,7 @@ let request_of_json json =
       Ok (Counts { shard; counts })
   | "verdict" -> Ok Verdict
   | "stats" -> Ok Stats
+  | "cache_stats" -> Ok Cache_stats
   | "reset" -> Ok Reset
   | "quit" -> Ok Quit
   | other -> Error (Printf.sprintf "unknown cmd %S" other)

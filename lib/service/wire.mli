@@ -11,6 +11,8 @@
       a full count vector (another process's tallies).
     - [{"cmd":"verdict"}] — merge all shards, return the incremental
       accept/reject verdict.
+    - [{"cmd":"cache_stats"}] — structure-cache introspection (size,
+      hits, misses, evictions).
     - [{"cmd":"stats"}], [{"cmd":"reset"}], [{"cmd":"quit"}]. *)
 
 type request =
@@ -25,6 +27,7 @@ type request =
   | Counts of { shard : string; counts : int array }
   | Verdict
   | Stats
+  | Cache_stats
   | Reset
   | Quit
 

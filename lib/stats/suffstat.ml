@@ -18,23 +18,36 @@
 
 type t = {
   part : Partition.t;
+  cell_of : int array;
+      (* element -> cell index, precomputed: observe is the service's
+         per-value hot path, and an O(1) table lookup replaces the
+         O(log K) Partition.find with the identical index *)
   counts : int array; (* per-element occurrence counts *)
   cell_counts : int array;
   mutable total : int;
   mass_sum : float array; (* per-cell Neumaier weight accumulators *)
   mass_comp : float array;
+  scratch : int array;
+      (* per-cell counts staged by observe_sub; always zeroed on return.
+         States are single-owner (one domain at a time), so no races. *)
 }
 
 let create ~part =
   let n = Partition.domain_size part in
   let kk = Partition.cell_count part in
+  let cell_of = Array.make n 0 in
+  Partition.iteri
+    (fun j cell -> Interval.iter (fun i -> cell_of.(i) <- j) cell)
+    part;
   {
     part;
+    cell_of;
     counts = Array.make n 0;
     cell_counts = Array.make kk 0;
     total = 0;
     mass_sum = Array.make kk 0.;
     mass_comp = Array.make kk 0.;
+    scratch = Array.make kk 0;
   }
 
 let empty_like t = create ~part:t.part
@@ -61,11 +74,54 @@ let observe ?(weight = 1.) t x =
     invalid_arg "Suffstat.observe: outside domain";
   t.counts.(x) <- t.counts.(x) + 1;
   t.total <- t.total + 1;
-  let j = Partition.find t.part x in
+  let j = t.cell_of.(x) in
   t.cell_counts.(j) <- t.cell_counts.(j) + 1;
   add_weight t j weight
 
-let observe_all t xs = Array.iter (fun x -> observe t x) xs
+(* Batched unit-weight ingest, the serve hot path.  Per-value work is
+   integer-only with unchecked accesses (every index is validated against
+   the domain first); the unit weights are added per cell at the end.
+   Grouping the weight adds is bit-identical to one [add_weight] per
+   value: all intermediate sums are exact integers below 2^53, so every
+   two-sum is error-free and the compensation terms are exactly 0.0
+   either way.  Out-of-domain elements raise [observe]'s error at the
+   offending element with the prefix fully ingested, matching the
+   element-at-a-time semantics the service's error responses pin. *)
+let observe_sub t xs ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Array.length xs then
+    invalid_arg "Suffstat.observe_sub: slice outside array";
+  let n = Array.length t.counts in
+  let kk = Array.length t.cell_counts in
+  let added = t.scratch in
+  let counts = t.counts and cell_of = t.cell_of in
+  let bad = ref false in
+  let done_ = ref 0 in
+  (try
+     for i = pos to pos + len - 1 do
+       let x = Array.unsafe_get xs i in
+       if x < 0 || x >= n then begin
+         bad := true;
+         done_ := i - pos;
+         raise Exit
+       end;
+       Array.unsafe_set counts x (Array.unsafe_get counts x + 1);
+       let j = Array.unsafe_get cell_of x in
+       Array.unsafe_set added j (Array.unsafe_get added j + 1)
+     done;
+     done_ := len
+   with Exit -> ());
+  t.total <- t.total + !done_;
+  for j = 0 to kk - 1 do
+    let c = added.(j) in
+    if c > 0 then begin
+      t.cell_counts.(j) <- t.cell_counts.(j) + c;
+      add_weight t j (float_of_int c);
+      added.(j) <- 0
+    end
+  done;
+  if !bad then invalid_arg "Suffstat.observe: outside domain"
+
+let observe_all t xs = observe_sub t xs ~pos:0 ~len:(Array.length xs)
 
 let observe_counts t counts =
   if Array.length counts <> domain_size t then

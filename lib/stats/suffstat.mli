@@ -34,6 +34,14 @@ val observe : ?weight:float -> t -> int -> unit
 val observe_all : t -> int array -> unit
 (** Batch [observe] in array order, unit weights. *)
 
+val observe_sub : t -> int array -> pos:int -> len:int -> unit
+(** [observe_all] on the slice [xs.(pos) .. xs.(pos+len-1)] — the
+    zero-copy entry point for the service fast path, which decodes wire
+    payloads into a reusable workspace buffer.  Raises exactly as a
+    sequence of {!observe} calls would: on an out-of-domain element the
+    preceding prefix is already ingested.
+    @raise Invalid_argument if the slice falls outside the array. *)
+
 val observe_counts : t -> int array -> unit
 (** Bulk-add a full count vector (e.g. another process's tallies); cell
     masses accrue each cell's added count as one weight term.

@@ -70,6 +70,28 @@ let test_empty_and_singleton () =
       Alcotest.(check (array int)) "singleton" [| 7 |]
         (Parkit.Pool.init pool 1 (fun _ -> 7)))
 
+let test_iter_effects_visible () =
+  (* iter's join is a barrier: every effect of f is visible after it
+     returns, and disjoint-index writes from parallel tasks all land. *)
+  List.iter
+    (fun jobs ->
+      Parkit.Pool.with_pool ~jobs (fun pool ->
+          let n = 1_000 in
+          let src = Array.init n (fun i -> i) in
+          let dst = Array.make n 0 in
+          Parkit.Pool.iter pool (fun i -> dst.(i) <- (2 * i) + 1) src;
+          Alcotest.(check (array int))
+            (Printf.sprintf "jobs=%d all writes visible" jobs)
+            (Array.init n (fun i -> (2 * i) + 1))
+            dst);
+      Parkit.Pool.with_pool ~jobs (fun pool ->
+          let hit = ref false in
+          Parkit.Pool.iter pool (fun _ -> hit := true) [||];
+          Alcotest.(check bool)
+            (Printf.sprintf "jobs=%d empty array" jobs)
+            false !hit))
+    [ 1; 2; 4 ]
+
 let test_sequential_pool () =
   Alcotest.(check int) "jobs" 1 (Parkit.Pool.jobs Parkit.Pool.sequential);
   Alcotest.(check (array int)) "plain loop" [| 0; 1; 4 |]
@@ -154,6 +176,8 @@ let () =
           Alcotest.test_case "init ordered" `Quick test_init_ordered;
           Alcotest.test_case "empty and singleton" `Quick
             test_empty_and_singleton;
+          Alcotest.test_case "iter effects visible" `Quick
+            test_iter_effects_visible;
           Alcotest.test_case "sequential pool" `Quick test_sequential_pool;
           Alcotest.test_case "nested map" `Quick test_nested_map_no_deadlock;
           Alcotest.test_case "exception propagates" `Quick

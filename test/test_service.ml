@@ -377,6 +377,420 @@ let test_family_of_spec () =
       | Error _ -> ())
     [ "nonsense"; "staircase"; "staircase:x"; "zipf" ]
 
+(* --- Scan: the zero-allocation wire fast path --- *)
+
+let scan_payload ws hit = Array.sub (Scan.buffer ws) hit.Scan.off hit.Scan.len
+
+let test_scan_canonical () =
+  let ws = Scan.create () in
+  (match
+     Scan.scan ws {|{"cmd":"observe","shard":"a","xs":[0,12,-3,999999999999999]}|}
+   with
+  | Some h ->
+      Alcotest.(check bool) "observe kind" true (h.Scan.kind = Scan.Observe);
+      Alcotest.(check string) "shard" "a" h.Scan.shard;
+      Alcotest.(check (array int))
+        "payload"
+        [| 0; 12; -3; 999_999_999_999_999 |]
+        (scan_payload ws h)
+  | None -> Alcotest.fail "canonical observe declined");
+  (match Scan.scan ws {|{"cmd":"counts","shard":"s-1","counts":[]}|} with
+  | Some h ->
+      Alcotest.(check bool) "counts kind" true (h.Scan.kind = Scan.Counts);
+      Alcotest.(check int) "empty payload" 0 h.Scan.len
+  | None -> Alcotest.fail "canonical counts declined");
+  Alcotest.(check int) "arena accumulates across scans" 4 (Scan.length ws);
+  Scan.clear ws;
+  Alcotest.(check int) "clear resets the arena" 0 (Scan.length ws);
+  (* arena growth beyond the initial 4096-int capacity keeps the data *)
+  let big = Array.init 9_000 (fun i -> i) in
+  let line =
+    Printf.sprintf {|{"cmd":"observe","shard":"g","xs":[%s]}|}
+      (String.concat "," (Array.to_list (Array.map string_of_int big)))
+  in
+  match Scan.scan ws line with
+  | Some h -> Alcotest.(check (array int)) "grown arena" big (scan_payload ws h)
+  | None -> Alcotest.fail "long canonical observe declined"
+
+let test_scan_fallback () =
+  let ws = Scan.create () in
+  List.iter
+    (fun line ->
+      (match Scan.scan ws line with
+      | Some _ -> Alcotest.failf "claimed: %s" line
+      | None -> ());
+      Alcotest.(check int)
+        (Printf.sprintf "arena untouched after %s" line)
+        0 (Scan.length ws))
+    [
+      {|{"cmd":"verdict"}|} (* other command: strict parser's business *);
+      {|{"cmd": "observe","shard":"a","xs":[1]}|} (* whitespace *);
+      {|{"cmd":"observe","shard":"a","xs":[1, 2]}|} (* whitespace in array *);
+      {|{"cmd":"observe","xs":[1],"shard":"a"}|} (* field order *);
+      {|{"cmd":"observe","shard":"a","xs":[1.5]}|} (* float *);
+      {|{"cmd":"observe","shard":"a","xs":[1e2]}|} (* exponent *);
+      {|{"cmd":"observe","shard":"a","xs":[01]}|} (* leading zero *);
+      {|{"cmd":"observe","shard":"a","xs":[1234567890123456]}|} (* 16 digits *);
+      {|{"cmd":"observe","shard":"a\n","xs":[1]}|} (* escape in shard *);
+      {|{"cmd":"observe","shard":"a","xs":[1],"z":0}|} (* extra field *);
+      {|{"cmd":"observe","shard":"a","xs":[1]} |} (* trailing byte *);
+      {|{"cmd":"observe","shard":"a","xs":[1,]}|} (* dangling comma *);
+      {|{"cmd":"observe","shard":"a","xs":[--1]}|} (* double sign *);
+      {|{"cmd":"observe","shard":"a","xs":[1,2|} (* truncated mid-payload *);
+    ]
+
+(* Differential fuzz: on any line, a fast-path claim must decode to
+   exactly what the strict parser decodes — same command, shard and
+   payload — and the canonical producer form must always be claimed
+   (coverage: the hot path really is hot). *)
+let prop_scan_matches_strict =
+  QCheck.Test.make ~name:"Scan claim = strict parse (differential fuzz)"
+    ~count:300
+    (QCheck.int_range 0 1_000_000)
+    (fun seed ->
+      let r = Randkit.Rng.create ~seed in
+      let len = Randkit.Rng.int r 9 in
+      let xs =
+        Array.init len (fun _ -> Randkit.Rng.int r 2_000_001 - 1_000_000)
+      in
+      let shard = Printf.sprintf "s%d" (Randkit.Rng.int r 100) in
+      let observe = Randkit.Rng.int r 2 = 0 in
+      let body = String.concat "," (Array.to_list (Array.map string_of_int xs)) in
+      let canonical =
+        Printf.sprintf {|{"cmd":"%s","shard":"%s","%s":[%s]}|}
+          (if observe then "observe" else "counts")
+          shard
+          (if observe then "xs" else "counts")
+          body
+      in
+      let line =
+        match Randkit.Rng.int r 4 with
+        | 0 | 1 -> canonical
+        | 2 ->
+            (* strict-valid but non-canonical: a stray space *)
+            let at = Randkit.Rng.int r (String.length canonical - 1) + 1 in
+            String.sub canonical 0 at ^ " "
+            ^ String.sub canonical at (String.length canonical - at)
+        | _ ->
+            (* arbitrary corruption: flip one byte *)
+            let at = Randkit.Rng.int r (String.length canonical) in
+            String.mapi
+              (fun i c -> if i = at then Char.chr (Randkit.Rng.int r 128) else c)
+              canonical
+      in
+      let ws = Scan.create () in
+      match Scan.scan ws line with
+      | None ->
+          (* declining is always safe, but the canonical form must hit *)
+          not (String.equal line canonical)
+      | Some h -> (
+          let payload = scan_payload ws h in
+          match Wire.request_of_line line with
+          | Ok (Wire.Observe { shard = s; xs = strict }) ->
+              h.Scan.kind = Scan.Observe && String.equal s h.Scan.shard
+              && strict = payload
+          | Ok (Wire.Counts { shard = s; counts = strict }) ->
+              h.Scan.kind = Scan.Counts && String.equal s h.Scan.shard
+              && strict = payload
+          | Ok _ | Error _ -> false))
+
+(* Structured fuzz for the codec itself: any value the printer can emit
+   must re-parse to the same single line. *)
+let rec gen_jsonl r depth =
+  match Randkit.Rng.int r (if depth = 0 then 4 else 6) with
+  | 0 -> Jsonl.Null
+  | 1 -> Jsonl.Bool (Randkit.Rng.int r 2 = 0)
+  | 2 ->
+      (* dyadic rationals round-trip exactly through the printer *)
+      Jsonl.Num (float_of_int (Randkit.Rng.int r 2_000_001 - 1_000_000) /. 8.)
+  | 3 ->
+      Jsonl.Str
+        (String.init (Randkit.Rng.int r 12) (fun _ ->
+             Char.chr (Randkit.Rng.int r 128)))
+  | 4 ->
+      Jsonl.List
+        (List.init (Randkit.Rng.int r 4) (fun _ -> gen_jsonl r (depth - 1)))
+  | _ ->
+      Jsonl.Obj
+        (List.init (Randkit.Rng.int r 4) (fun i ->
+             (Printf.sprintf "k%d" i, gen_jsonl r (depth - 1))))
+
+let prop_jsonl_fuzz_roundtrip =
+  QCheck.Test.make ~name:"Jsonl print/parse round-trip (fuzz)" ~count:300
+    (QCheck.int_range 0 1_000_000)
+    (fun seed ->
+      let r = Randkit.Rng.create ~seed in
+      let v = gen_jsonl r 3 in
+      let s = Jsonl.to_string v in
+      (not (String.contains s '\n'))
+      &&
+      match Jsonl.parse s with
+      | Error _ -> false
+      | Ok v' -> String.equal s (Jsonl.to_string v'))
+
+(* --- batched serve engine --- *)
+
+let serve_in_memory ?(pool = Parkit.Pool.sequential) ?(batch = 1)
+    ?(fast_path = true) lines =
+  let t = Service.create () in
+  let idx = ref 0 in
+  let read_line ~block:_ =
+    if !idx < Array.length lines then begin
+      let l = lines.(!idx) in
+      incr idx;
+      Some l
+    end
+    else None
+  in
+  let out = Buffer.create 4096 in
+  let stats =
+    Service.serve t ~pool ~batch ~fast_path ~read_line
+      ~write:(fun b -> Buffer.add_buffer out b)
+  in
+  (Buffer.contents out, stats)
+
+(* Random protocol scripts: canonical and whitespace-y ingest lines
+   (in- and out-of-domain values, so error paths are exercised),
+   reconfigs, verdicts, garbage, blanks, the odd quit.  Serving any of
+   them batched, parallel, fast-path-on must be byte-identical to the
+   unbatched strict-parser loop — the same contract E21 gates, here on
+   adversarial scripts rather than throughput-shaped ones. *)
+let random_script r =
+  let n = 64 + Randkit.Rng.int r 192 in
+  let config ~seed =
+    Printf.sprintf {|{"cmd":"config","n":%d,"family":"uniform","eps":0.25,"seed":%d}|}
+      n seed
+  in
+  let steps = 30 + Randkit.Rng.int r 50 in
+  let lines = ref [] in
+  for _ = 1 to steps do
+    let line =
+      match Randkit.Rng.int r 12 with
+      | 0 | 1 | 2 | 3 | 4 | 5 ->
+          let len = Randkit.Rng.int r 7 in
+          let xs =
+            List.init len (fun _ ->
+                string_of_int (Randkit.Rng.int r (n + 8) - 4))
+          in
+          Printf.sprintf {|{"cmd":"observe","shard":"s%d","xs":[%s]}|}
+            (Randkit.Rng.int r 4)
+            (String.concat "," xs)
+      | 6 ->
+          let counts =
+            List.init n (fun _ -> string_of_int (Randkit.Rng.int r 3))
+          in
+          Printf.sprintf {|{"cmd":"counts","shard":"s%d","counts":[%s]}|}
+            (Randkit.Rng.int r 4)
+            (String.concat "," counts)
+      | 7 -> {|{"cmd":"verdict"}|}
+      | 8 -> "  \t " (* blank: skipped without a response *)
+      | 9 -> {|{"cmd":"observe","shard":"s0","xs":[ 1, 2 ]}|} (* strict fallback *)
+      | 10 ->
+          if Randkit.Rng.int r 8 = 0 then {|{"cmd":"quit"}|}
+          else config ~seed:(Randkit.Rng.int r 3) (* cache hits/misses *)
+      | _ -> "not json"
+    in
+    lines := line :: !lines
+  done;
+  Array.of_list (config ~seed:0 :: List.rev !lines)
+
+let prop_serve_batched_identical =
+  QCheck.Test.make
+    ~name:"batched parallel serve transcript = unbatched strict serve"
+    ~count:40
+    (QCheck.int_range 0 1_000_000)
+    (fun seed ->
+      let r = Randkit.Rng.create ~seed in
+      let script = random_script r in
+      let ref_out, _ = serve_in_memory ~batch:1 ~fast_path:false script in
+      List.for_all
+        (fun (batch, jobs) ->
+          let out, _ =
+            Parkit.Pool.with_pool ~jobs (fun pool ->
+                serve_in_memory ~pool ~batch ~fast_path:true script)
+          in
+          String.equal out ref_out)
+        [ (1, 1); (7, 1); (64, 1); (16, 2) ])
+
+let test_serve_blank_and_quit () =
+  (* Blank lines are skipped without a response; everything after a quit
+     in the same batch is dropped unanswered, exactly as a sequential
+     loop would never have read it. *)
+  let script =
+    [|
+      {|{"cmd":"config","n":16,"family":"uniform","eps":0.25,"seed":1}|};
+      "";
+      " \t ";
+      {|{"cmd":"observe","shard":"a","xs":[1,2]}|};
+      {|{"cmd":"quit"}|};
+      {|{"cmd":"observe","shard":"a","xs":[3]}|};
+      {|{"cmd":"verdict"}|};
+    |]
+  in
+  let out, stats = serve_in_memory ~batch:64 script in
+  Alcotest.(check int) "answered up to quit" 3 stats.Service.requests;
+  let lines = String.split_on_char '\n' (String.trim out) in
+  Alcotest.(check int) "three response lines" 3 (List.length lines);
+  let ref_out, ref_stats = serve_in_memory ~batch:1 ~fast_path:false script in
+  Alcotest.(check string) "batched = unbatched" ref_out out;
+  Alcotest.(check int) "same request count" ref_stats.Service.requests
+    stats.Service.requests;
+  Alcotest.(check bool) "fast path was used" true (stats.Service.fast_hits > 0);
+  Alcotest.(check int) "strict loop never scans" 0 ref_stats.Service.fast_hits;
+  Alcotest.(check bool) "batch < 1 rejected" true
+    (try
+       ignore (serve_in_memory ~batch:0 script);
+       false
+     with Invalid_argument _ -> true)
+
+let test_rendered_responses () =
+  (* The direct renderings the batch path writes must be byte-equal to
+     the Jsonl tree the strict path would print — including string
+     escaping and integer formatting. *)
+  let shard = "s \"quoted\"\tend" in
+  Alcotest.(check string) "observe ok"
+    (Jsonl.to_string
+       (Wire.ok
+          [
+            ("cmd", Jsonl.Str "observe");
+            ("shard", Jsonl.Str shard);
+            ("added", Jsonl.Num 3.);
+            ("shard_total", Jsonl.Num 1_234_567.);
+          ]))
+    (Service.rendered_observe_ok ~shard ~added:3 ~shard_total:1_234_567);
+  Alcotest.(check string) "counts ok"
+    (Jsonl.to_string
+       (Wire.ok
+          [
+            ("cmd", Jsonl.Str "counts");
+            ("shard", Jsonl.Str shard);
+            ("shard_total", Jsonl.Num 0.);
+          ]))
+    (Service.rendered_counts_ok ~shard ~shard_total:0);
+  Alcotest.(check string) "error"
+    (Jsonl.to_string (Wire.error "bad \\ news"))
+    (Service.rendered_error "bad \\ news")
+
+(* --- structure cache --- *)
+
+let test_structcache_lru () =
+  let c = Structcache.create ~capacity:2 () in
+  let entry = { Structcache.dstar = Pmf.uniform 4; part = part_of ~n:4 ~cells:2 } in
+  let get key = Structcache.find_or_build c ~key (fun () -> Ok entry) in
+  ignore (get "a") (* miss *);
+  ignore (get "b") (* miss *);
+  ignore (get "a") (* hit: refreshes a's recency *);
+  ignore (get "c") (* miss: evicts b, the LRU *);
+  ignore (get "b") (* miss again: b was evicted, evicts a *);
+  let s = Structcache.stats c in
+  Alcotest.(check int) "hits" 1 s.Structcache.hits;
+  Alcotest.(check int) "misses" 4 s.Structcache.misses;
+  Alcotest.(check int) "evictions" 2 s.Structcache.evictions;
+  Alcotest.(check int) "size" 2 s.Structcache.size;
+  Alcotest.(check int) "capacity" 2 s.Structcache.capacity;
+  (match Structcache.find_or_build c ~key:"err" (fun () -> Error "boom") with
+  | Error "boom" -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" e
+  | Ok _ -> Alcotest.fail "error cached as success");
+  let s = Structcache.stats c in
+  Alcotest.(check int) "errors are never cached" 2 s.Structcache.size;
+  Alcotest.(check int) "failed build is a miss" 5 s.Structcache.misses;
+  (match Structcache.find_or_build c ~key:"err" (fun () -> Ok entry) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "retry after error failed");
+  Alcotest.(check bool) "capacity < 1 rejected" true
+    (try
+       ignore (Structcache.create ~capacity:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_structcache_fingerprint_distinct () =
+  let fps =
+    [
+      Structcache.fingerprint ~n:128 ~family:"khist:8" ~seed:1 ~cells:16;
+      Structcache.fingerprint ~n:256 ~family:"khist:8" ~seed:1 ~cells:16;
+      Structcache.fingerprint ~n:128 ~family:"khist:9" ~seed:1 ~cells:16;
+      Structcache.fingerprint ~n:128 ~family:"khist:8" ~seed:2 ~cells:16;
+      Structcache.fingerprint ~n:128 ~family:"khist:8" ~seed:1 ~cells:32;
+    ]
+  in
+  Alcotest.(check int) "all coordinates distinguish" (List.length fps)
+    (List.length (List.sort_uniq String.compare fps))
+
+let test_service_cache_stats_protocol () =
+  let t = Service.create () in
+  let config seed =
+    Printf.sprintf {|{"cmd":"config","n":64,"family":"uniform","eps":0.25,"seed":%d}|}
+      seed
+  in
+  List.iter
+    (fun seed ->
+      let _, resp, _ = response t (config seed) in
+      Alcotest.(check bool) "config ok" true (is_ok resp))
+    [ 1; 2; 1; 1 ];
+  let s = Service.cache_stats t in
+  Alcotest.(check int) "two distinct fingerprints" 2 s.Structcache.misses;
+  Alcotest.(check int) "repeats hit" 2 s.Structcache.hits;
+  let _, resp, _ = response t {|{"cmd":"cache_stats"}|} in
+  Alcotest.(check bool) "cache_stats ok" true (is_ok resp);
+  Alcotest.(check (option int)) "served hits" (Some 2)
+    (Option.bind (Jsonl.member "hits" resp) Jsonl.to_int);
+  Alcotest.(check (option int)) "served misses" (Some 2)
+    (Option.bind (Jsonl.member "misses" resp) Jsonl.to_int)
+
+(* --- batched ingest: partial-prefix error semantics --- *)
+
+let test_observe_sub_partial () =
+  let part = part_of ~n:8 ~cells:2 in
+  let st = Suffstat.create ~part in
+  (try
+     Suffstat.observe_all st [| 1; 2; 99; 3 |];
+     Alcotest.fail "out-of-domain accepted"
+   with Invalid_argument m ->
+     Alcotest.(check string) "observe's own message"
+       "Suffstat.observe: outside domain" m);
+  (* the prefix before the bad element is fully ingested, the rest not —
+     exactly what element-at-a-time observe leaves behind *)
+  let by_element = Suffstat.create ~part in
+  (try Array.iter (fun x -> Suffstat.observe by_element x) [| 1; 2; 99; 3 |]
+   with Invalid_argument _ -> ());
+  Alcotest.(check int) "prefix ingested" 2 (Suffstat.total st);
+  Alcotest.(check bool) "state = element-at-a-time" true
+    (Suffstat.equal st by_element);
+  (* a clean batch after the failure still works: scratch was re-zeroed *)
+  Suffstat.observe_all st [| 0; 7 |];
+  Alcotest.(check int) "subsequent batch clean" 4 (Suffstat.total st);
+  Alcotest.(check bool) "bad slice rejected" true
+    (try
+       Suffstat.observe_sub st [| 1 |] ~pos:1 ~len:1;
+       false
+     with Invalid_argument _ -> true)
+
+(* --- corpus files --- *)
+
+let test_corpus_of_file () =
+  let path = Filename.temp_file "histotest_corpus" ".txt" in
+  let write s =
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc
+  in
+  write " 1 \n\n2\n-3\n";
+  (match Service.corpus_of_file path with
+  | Ok xs ->
+      Alcotest.(check (array int)) "values, blanks skipped" [| 1; 2; -3 |] xs
+  | Error e -> Alcotest.fail e);
+  write "1\n\n2\nx7\n3\n";
+  (match Service.corpus_of_file path with
+  | Error e ->
+      Alcotest.(check string) "line-numbered error"
+        (path ^ ":4: not an integer") e
+  | Ok _ -> Alcotest.fail "malformed corpus accepted");
+  Sys.remove path;
+  match Service.corpus_of_file path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file accepted"
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "service"
@@ -394,6 +808,32 @@ let () =
           Alcotest.test_case "round-trip" `Quick test_jsonl_roundtrip;
           Alcotest.test_case "strict parse" `Quick test_jsonl_parse_strict;
           Alcotest.test_case "numbers" `Quick test_jsonl_numbers;
+          qc prop_jsonl_fuzz_roundtrip;
+        ] );
+      ( "scan",
+        [
+          Alcotest.test_case "canonical lines hit" `Quick test_scan_canonical;
+          Alcotest.test_case "everything else falls back" `Quick
+            test_scan_fallback;
+          qc prop_scan_matches_strict;
+        ] );
+      ( "serve",
+        [
+          qc prop_serve_batched_identical;
+          Alcotest.test_case "blank lines and quit" `Quick
+            test_serve_blank_and_quit;
+          Alcotest.test_case "rendered responses" `Quick test_rendered_responses;
+          Alcotest.test_case "partial batch ingest" `Quick
+            test_observe_sub_partial;
+          Alcotest.test_case "corpus files" `Quick test_corpus_of_file;
+        ] );
+      ( "structcache",
+        [
+          Alcotest.test_case "LRU eviction" `Quick test_structcache_lru;
+          Alcotest.test_case "fingerprint coordinates" `Quick
+            test_structcache_fingerprint_distinct;
+          Alcotest.test_case "cache_stats protocol" `Quick
+            test_service_cache_stats_protocol;
         ] );
       ( "protocol",
         [
