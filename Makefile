@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint bench-smoke bench-parallel bench-closest bench-counts bench-merge bench-serve bench clean
+.PHONY: all build test lint lint-json lint-fixtures bench-smoke bench-parallel bench-closest bench-counts bench-merge bench-serve bench clean
 
 all: build
 
@@ -12,10 +12,32 @@ test:
 
 # Static invariants: histolint scans the compiled typedtrees
 # (_build/default/**/*.cmt) for determinism and float-discipline
-# violations (see DESIGN.md "Static invariants").  Non-zero exit on any
-# unsuppressed error-severity finding.
+# violations plus the v2 interprocedural passes — domain-safety of
+# closures handed to Parkit.Pool, and [@histolint.hot] allocation
+# discipline (see DESIGN.md "Static invariants").  Per-unit function
+# summaries are cached under _build/default/.histolint-summaries keyed
+# by cmt digest, so a warm re-run only re-summarizes changed modules.
+# Non-zero exit on any unsuppressed error-severity finding or unknown
+# rule id in a suppression.
 lint:
 	dune build @lint
+
+# The same scan, but emitting the machine-readable report (findings,
+# suppressed sites, the full suppression audit trail, per-rule counts)
+# to _build/histolint.json — the CI lint artifact.  The `-` keeps the
+# artifact flowing even when the scan has findings; `make lint` is the
+# gate.
+lint-json:
+	dune build @default
+	-dune exec bin/histolint.exe -- --json --summaries _build/histolint-cache _build/default > _build/histolint.json
+	@echo "wrote _build/histolint.json"
+
+# Regenerate the lint golden file after changing fixtures or finding
+# messages; test_lint.ml fails while GOLDEN.txt is stale.
+lint-fixtures:
+	dune build @default
+	dune exec test/lint_golden_gen.exe > test/lint_fixtures/GOLDEN.txt
+	@echo "regenerated test/lint_fixtures/GOLDEN.txt"
 
 # One quick experiment per family (E1 accuracy sweep, E10 ablation, E17
 # parallel engine): CI-style verification that harness changes did not

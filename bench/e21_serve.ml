@@ -239,10 +239,40 @@ let run (mode : Exp_common.mode) =
     (100. *. cache_hit_rate)
     (miss_wall /. Float.max 1e-9 hit_wall);
 
+  (* Explicit per-shape fast-path aggregates: the per-row rates are
+     buried in [rows]; these fields make "does the scanner claim the
+     whole corpus for this shape" a one-key lookup when diffing bench
+     lines across PRs. *)
+  let fast_path_by_shape =
+    let shapes_seen =
+      List.sort_uniq String.compare
+        (List.map (fun (_, shape, _, _, _, _, _, _) -> shape) rows)
+    in
+    String.concat ","
+      (List.map
+         (fun shape ->
+           let rates =
+             List.filter_map
+               (fun (_, s, _, _, _, _, fp, _) ->
+                 if String.equal s shape then Some fp else None)
+               rows
+           in
+           let n = float_of_int (List.length rates) in
+           let min_r = List.fold_left Float.min Float.infinity rates in
+           let mean_r = List.fold_left ( +. ) 0. rates /. Float.max 1. n in
+           Exp_common.row
+             "fast-path by shape %s: min %.4f, mean %.4f over %d rows@." shape
+             min_r mean_r (List.length rates);
+           Printf.sprintf
+             "{\"shape\":\"%s\",\"min_rate\":%.4f,\"mean_rate\":%.4f}" shape
+             min_r mean_r)
+         shapes_seen)
+  in
   let json =
     Printf.sprintf
       "{\"bench\":\"e21_serve\",\"n\":%d,\"k\":%d,\"eps\":%g,\"shards\":%d,\
        \"seed\":%d,\"rows\":[%s],\"min_single_core_speedup_batch64\":%.2f,\
+       \"fast_path_by_shape\":[%s],\
        \"cache\":{\"n\":%d,\"configs\":%d,\"working_set\":%d,\
        \"miss_ms_per_config\":%.3f,\"hit_ms_per_config\":%.4f,\
        \"hit_rate\":%.4f,\"evictions\":%d,\"speedup\":%.1f},\
@@ -257,7 +287,8 @@ let run (mode : Exp_common.mode) =
                  \"fast_path_rate\":%.4f,\"identical\":%b}"
                 side shape batch jobs rate speedup fp identical)
             rows))
-      min_single_core cache_n (working_set * rounds) working_set
+      min_single_core fast_path_by_shape cache_n (working_set * rounds)
+      working_set
       (per_config miss_wall) (per_config hit_wall) cache_hit_rate
       hit_stats.Structcache.evictions
       (miss_wall /. Float.max 1e-9 hit_wall)

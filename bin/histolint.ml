@@ -6,12 +6,17 @@
    any unsuppressed error-severity finding remains; --strict promotes
    warnings to failures too. *)
 
-let usage = "histolint [--json] [--strict] [--lib-prefix P] [--rules] [PATH...]"
+let usage =
+  "histolint [--json] [--strict] [--lib-prefix P] [--summaries DIR] [--only \
+   RULE] [--rules] [--explain RULE] [PATH...]"
 
 let () =
   let json = ref false in
   let strict = ref false in
   let show_rules = ref false in
+  let explain = ref None in
+  let only = ref [] in
+  let summaries = ref None in
   let lib_prefixes = ref [] in
   let paths = ref [] in
   let spec =
@@ -23,40 +28,107 @@ let () =
       ( "--lib-prefix",
         Arg.String (fun p -> lib_prefixes := p :: !lib_prefixes),
         "P treat source paths under prefix P as lib/ code (repeatable)" );
+      ( "--summaries",
+        Arg.String (fun d -> summaries := Some d),
+        "DIR cache per-module summaries in DIR keyed by cmt digest \
+         (incremental re-lints)" );
+      ( "--only",
+        Arg.String (fun r -> only := r :: !only),
+        "RULE report only this rule id (repeatable)" );
       ("--rules", Arg.Set show_rules, " list the rule set and exit");
+      ( "--explain",
+        Arg.String (fun r -> explain := Some r),
+        "RULE print the full rationale for one rule and exit" );
     ]
   in
   Arg.parse (Arg.align spec) (fun p -> paths := p :: !paths) usage;
+  (match !explain with
+  | Some r -> (
+      match Histolint_lib.Rules.of_name r with
+      | Some rule ->
+          print_endline (Histolint_lib.Rules.explain rule);
+          exit 0
+      | None ->
+          Printf.eprintf
+            "histolint: unknown rule `%s` (histolint --rules lists them)\n" r;
+          exit 2)
+  | None -> ());
   if !show_rules then begin
     List.iter
       (fun r ->
-        Printf.printf "%-25s %-8s %s\n"
+        Printf.printf "%-28s %-8s %s\n"
           (Histolint_lib.Rules.name r)
           (Histolint_lib.Rules.severity_name (Histolint_lib.Rules.severity r))
           (Histolint_lib.Rules.describe r))
       Histolint_lib.Rules.all;
     exit 0
   end;
+  List.iter
+    (fun r ->
+      if Option.is_none (Histolint_lib.Rules.of_name r) then begin
+        Printf.eprintf
+          "histolint: --only: unknown rule `%s` (histolint --rules lists \
+           them)\n"
+          r;
+        exit 2
+      end)
+    !only;
   let paths =
     match List.rev !paths with
-    | [] -> if Sys.file_exists "_build/default" then [ "_build/default" ] else [ "." ]
+    | [] ->
+        if Sys.file_exists "_build/default" then [ "_build/default" ]
+        else [ "." ]
     | ps -> ps
   in
   let config =
-    { Histolint_lib.Engine.lib_prefixes = List.rev !lib_prefixes }
+    {
+      Histolint_lib.Engine.lib_prefixes = List.rev !lib_prefixes;
+      summaries_dir = !summaries;
+    }
   in
   let report = Histolint_lib.Engine.scan_paths config paths in
+  let report =
+    match !only with
+    | [] -> report
+    | rules ->
+        let keep (f : Histolint_lib.Finding.t) =
+          List.exists
+            (String.equal (Histolint_lib.Rules.name f.Histolint_lib.Finding.rule))
+            rules
+        in
+        {
+          report with
+          Histolint_lib.Engine.findings =
+            List.filter keep report.Histolint_lib.Engine.findings;
+          suppressed = List.filter keep report.Histolint_lib.Engine.suppressed;
+        }
+  in
   let errors = Histolint_lib.Engine.errors report in
   let warnings = Histolint_lib.Engine.warnings report in
+  let rule_counts = Histolint_lib.Engine.rule_counts report in
   if !json then begin
     let objects fs =
       String.concat "," (List.map Histolint_lib.Finding.to_json fs)
     in
+    let audit_objects =
+      String.concat ","
+        (List.map Histolint_lib.Finding.audit_to_json
+           report.Histolint_lib.Engine.audit)
+    in
+    let counts =
+      String.concat ","
+        (List.map
+           (fun (rule, n) ->
+             Printf.sprintf "\"%s\":%d"
+               (Histolint_lib.Finding.json_escape rule)
+               n)
+           rule_counts)
+    in
     Printf.printf
-      "{\"findings\":[%s],\"suppressed\":[%s],\"errors\":%d,\"warnings\":%d}\n"
+      "{\"findings\":[%s],\"suppressed\":[%s],\"audit\":[%s],\"rule_counts\":{%s},\"errors\":%d,\"warnings\":%d}\n"
       (objects report.Histolint_lib.Engine.findings)
       (objects report.Histolint_lib.Engine.suppressed)
-      errors warnings
+      audit_objects counts errors warnings
   end
   else begin
     List.iter
@@ -64,13 +136,24 @@ let () =
       report.Histolint_lib.Engine.findings;
     List.iter
       (fun f ->
-        Printf.printf "%s (suppressed by [@histolint.allow])\n"
-          (Histolint_lib.Finding.to_human f))
+        Printf.printf "%s (suppressed)\n" (Histolint_lib.Finding.to_human f))
       report.Histolint_lib.Engine.suppressed;
-    Printf.printf "histolint: %d error%s, %d warning%s, %d suppressed\n" errors
+    List.iter
+      (fun a ->
+        print_endline (Histolint_lib.Finding.audit_to_human a))
+      report.Histolint_lib.Engine.audit;
+    if not (List.is_empty rule_counts) then
+      Printf.printf "by rule: %s\n"
+        (String.concat ", "
+           (List.map (fun (r, n) -> Printf.sprintf "%s=%d" r n) rule_counts));
+    Printf.printf "histolint: %d error%s, %d warning%s, %d suppressed, %d \
+                   audited suppression site%s\n"
+      errors
       (if errors = 1 then "" else "s")
       warnings
       (if warnings = 1 then "" else "s")
       (List.length report.Histolint_lib.Engine.suppressed)
+      (List.length report.Histolint_lib.Engine.audit)
+      (if List.length report.Histolint_lib.Engine.audit = 1 then "" else "s")
   end;
   if errors > 0 || (!strict && warnings > 0) then exit 1

@@ -1,0 +1,60 @@
+(* The hot-path allocation pass: a function marked [@histolint.hot]
+   must not allocate on the OCaml heap — not directly, and not through
+   anything it calls.  The summaries already carry every allocating
+   construct (closure/tuple/record/variant construction, nonempty
+   array literals, lazy blocks, partial applications) and every call;
+   this pass walks a hot function's summary and chases calls through
+   the cross-module table, producing a witness chain for transitive
+   hits.
+
+   Sites inside an [@histolint.alloc_ok "reason"] region were recorded
+   as cold by the summary walk and are skipped here; they surface in
+   the audit trail instead. *)
+
+type site = { af_loc : Summary.sloc; af_msg : string }
+
+let check_func table (f : Summary.func_summary) =
+  let direct =
+    List.filter_map
+      (fun (a : Summary.alloc_site) ->
+        match a.a_cold with
+        | Some _ -> None
+        | None ->
+            Some
+              {
+                af_loc = a.a_loc;
+                af_msg =
+                  Printf.sprintf "hot function `%s` allocates: %s" f.f_name
+                    (Summary.alloc_kind_desc a.a_kind);
+              })
+      f.f_allocs
+  in
+  let transitive =
+    List.filter_map
+      (fun (c : Summary.call_site) ->
+        match c.c_cold with
+        | Some _ -> None
+        | None ->
+            (* calls that are themselves known allocators were already
+               recorded as direct A_known sites by the summary walk *)
+            if Summary.is_known_allocator c.c_callee then None
+            else
+              Option.map
+                (fun witness ->
+                  {
+                    af_loc = c.c_loc;
+                    af_msg =
+                      Printf.sprintf
+                        "hot function `%s` calls `%s`, which allocates: %s"
+                        f.f_name c.c_callee witness;
+                  })
+                (Summary.allocates table c.c_callee))
+      f.f_calls
+  in
+  direct @ transitive
+
+let check_module ~table (ms : Summary.module_summary) =
+  List.concat_map
+    (fun (f : Summary.func_summary) ->
+      if f.f_hot then check_func table f else [])
+    ms.m_funcs

@@ -1,0 +1,9 @@
+(** The hot-path allocation pass ([hot/alloc]): functions marked
+    [\[@histolint.hot\]] are checked — transitively, through the
+    {!Summary} table — for allocating constructs.  Findings point at
+    the allocating sub-expression or at the call whose callee
+    allocates, with a witness chain. *)
+
+type site = { af_loc : Summary.sloc; af_msg : string }
+
+val check_module : table:Summary.table -> Summary.module_summary -> site list

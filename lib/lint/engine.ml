@@ -1,13 +1,32 @@
-type config = { lib_prefixes : string list }
+(* The histolint engine, v2: a two-pass scan over the compiled
+   typedtrees.
 
-let default_config = { lib_prefixes = [] }
+   Pass A summarizes every compilation unit (Summary.of_structure,
+   with a digest-keyed cache under [config.summaries_dir]) and builds
+   the cross-module table.  Pass B walks each typedtree once more,
+   running the v1 per-expression rules, the interprocedural race pass
+   at every pool call site (race.ml), and — from the summaries — the
+   hot-path allocation pass (alloc.ml), all feeding the same
+   suppression machinery and audit trail. *)
 
-type report = { findings : Finding.t list; suppressed : Finding.t list }
+type config = { lib_prefixes : string list; summaries_dir : string option }
 
-let empty_report = { findings = []; suppressed = [] }
+let default_config = { lib_prefixes = []; summaries_dir = None }
+
+type report = {
+  findings : Finding.t list;
+  suppressed : Finding.t list;
+  audit : Finding.audit list;
+}
+
+let empty_report = { findings = []; suppressed = []; audit = [] }
 
 let merge a b =
-  { findings = a.findings @ b.findings; suppressed = a.suppressed @ b.suppressed }
+  {
+    findings = a.findings @ b.findings;
+    suppressed = a.suppressed @ b.suppressed;
+    audit = a.audit @ b.audit;
+  }
 
 let count sev r =
   List.length
@@ -18,43 +37,21 @@ let count sev r =
 let errors r = count Rules.Error r.findings
 let warnings r = count Rules.Warn r.findings
 
-(* --- path normalization ----------------------------------------------- *)
+let rule_counts r =
+  List.filter_map
+    (fun rule ->
+      let n =
+        List.length
+          (List.filter
+             (fun f ->
+               String.equal (Rules.name f.Finding.rule) (Rules.name rule))
+             r.findings)
+      in
+      if n > 0 then Some (Rules.name rule, n) else None)
+    Rules.all
 
-let normalize_source path =
-  let path =
-    if String.length path >= 2 && String.equal (String.sub path 0 2) "./" then
-      String.sub path 2 (String.length path - 2)
-    else path
-  in
-  (* Compilation under dune records paths relative to the build context
-     root; strip a leading _build/<context>/ if present so scope
-     classification sees lib/..., bin/..., etc. *)
-  let strip_build p =
-    let parts = String.split_on_char '/' p in
-    match parts with
-    | "_build" :: _context :: rest -> String.concat "/" rest
-    | _ -> p
-  in
-  strip_build path
-
-(* --- identifier classification ---------------------------------------- *)
-
-(* [Path.name] renders the resolved path: an unqualified [compare] is
-   "Stdlib.compare", [Random.int] is "Stdlib.Random.int".  Normalize by
-   dropping the [Stdlib] head (and the "Stdlib__Foo" flattened spelling)
-   so rule tables read naturally. *)
-let normalize_ident s =
-  let parts = String.split_on_char '.' s in
-  let parts =
-    match parts with
-    | "Stdlib" :: rest -> rest
-    | head :: rest
-      when String.length head > 8
-           && String.equal (String.sub head 0 8) "Stdlib__" ->
-        String.sub head 8 (String.length head - 8) :: rest
-    | parts -> parts
-  in
-  String.concat "." parts
+let normalize_source = Summary.normalize_source
+let normalize_ident = Summary.canonical
 
 let unordered_hashtbl_ops =
   [
@@ -118,24 +115,11 @@ type allow = {
   allow_file : string;
   allow_from : int;  (* char offsets; [allow_to = max_int] for floating *)
   allow_to : int;
+  allow_line : int;
+  allow_col : int;
 }
 
-let payload_strings (payload : Parsetree.payload) =
-  let rec strings_of (e : Parsetree.expression) =
-    match e.pexp_desc with
-    | Parsetree.Pexp_constant (Parsetree.Pconst_string (s, _, _)) -> [ s ]
-    | Parsetree.Pexp_tuple es -> List.concat_map strings_of es
-    | _ -> []
-  in
-  match payload with
-  | Parsetree.PStr items ->
-      List.concat_map
-        (fun (it : Parsetree.structure_item) ->
-          match it.pstr_desc with
-          | Parsetree.Pstr_eval (e, _) -> strings_of e
-          | _ -> [])
-        items
-  | _ -> []
+let payload_strings = Summary.payload_strings
 
 let allows_of_attributes ~(range : Location.t) attrs =
   List.filter_map
@@ -145,12 +129,17 @@ let allows_of_attributes ~(range : Location.t) attrs =
         | [] -> None
         | rules ->
             Some
-              {
-                allow_rules = rules;
-                allow_file = normalize_source range.loc_start.pos_fname;
-                allow_from = range.loc_start.pos_cnum;
-                allow_to = range.loc_end.pos_cnum;
-              }
+              ( {
+                  allow_rules = rules;
+                  allow_file = normalize_source range.loc_start.pos_fname;
+                  allow_from = range.loc_start.pos_cnum;
+                  allow_to = range.loc_end.pos_cnum;
+                  allow_line = attr.attr_loc.loc_start.pos_lnum;
+                  allow_col =
+                    attr.attr_loc.loc_start.pos_cnum
+                    - attr.attr_loc.loc_start.pos_bol;
+                },
+                attr.attr_loc )
       else None)
     attrs
 
@@ -167,17 +156,23 @@ let allow_matches allow ~file ~cnum ~rule_name =
 type ctx = {
   scope : Rules.scope;
   fallback_file : string;
+  modname : string;
+  table : Summary.table;
+  toplevel : (string, unit) Hashtbl.t;
+  mutable local_fns : (Ident.t * Typedtree.expression) list;
   mutable raw : (Finding.t * int) list;  (* finding, char offset *)
+  mutable pre_suppressed : Finding.t list;  (* suppressed by [@disjoint] *)
   mutable allows : allow list;
+  mutable audits : Finding.audit list;
 }
 
-let add_finding ctx rule (loc : Location.t) message =
-  if Rules.applies rule ctx.scope then begin
+let mk_finding ctx rule (loc : Location.t) message =
+  if Rules.applies rule ctx.scope then
     let file =
       if String.equal loc.loc_start.pos_fname "" then ctx.fallback_file
       else normalize_source loc.loc_start.pos_fname
     in
-    let finding =
+    Some
       {
         Finding.file;
         line = loc.loc_start.pos_lnum;
@@ -185,9 +180,20 @@ let add_finding ctx rule (loc : Location.t) message =
         rule;
         message;
       }
-    in
-    ctx.raw <- (finding, loc.loc_start.pos_cnum) :: ctx.raw
-  end
+  else None
+
+let add_finding ctx rule (loc : Location.t) message =
+  match mk_finding ctx rule loc message with
+  | Some finding -> ctx.raw <- (finding, loc.loc_start.pos_cnum) :: ctx.raw
+  | None -> ()
+
+let audited_scope ctx =
+  match ctx.scope with
+  | Rules.Lib | Rules.Lib_parallel | Rules.Bin -> true
+  | Rules.Test | Rules.Bench | Rules.Other -> false
+
+let add_audit ctx entry =
+  if audited_scope ctx then ctx.audits <- entry :: ctx.audits
 
 let check_ident ctx path (loc : Location.t) ty =
   let id = normalize_ident (Path.name path) in
@@ -229,20 +235,81 @@ let check_ident ctx path (loc : Location.t) ty =
              id at)
     | Some At_benign | Some At_unknown | None -> ()
 
+(* Validate the rule ids an [@histolint.allow] names: a typo would
+   silently suppress nothing, or rot after a rename. *)
+let validate_allow_rules ctx (attr_loc : Location.t) rules =
+  List.iter
+    (fun r ->
+      if (not (String.equal r "*")) && Option.is_none (Rules.of_name r) then
+        add_finding ctx Rules.Lint_unknown_allow attr_loc
+          (Printf.sprintf
+             "[@histolint.allow] names unknown rule id `%s` (see histolint \
+              --rules)"
+             r))
+    rules
+
+let collect_allows ctx ~(range : Location.t) attrs =
+  List.iter
+    (fun (allow, attr_loc) ->
+      validate_allow_rules ctx attr_loc allow.allow_rules;
+      ctx.allows <- allow :: ctx.allows)
+    (allows_of_attributes ~range attrs)
+
+let handle_race_verdict ctx (v : Race.verdict) =
+  let findings =
+    List.filter_map
+      (fun (s : Race.site) ->
+        match mk_finding ctx Rules.Par_shared_mutable s.rf_loc s.rf_msg with
+        | Some f -> Some (f, s.rf_loc.Location.loc_start.pos_cnum)
+        | None -> None)
+      v.sites
+  in
+  match v.disjoint with
+  | None -> List.iter (fun fc -> ctx.raw <- fc :: ctx.raw) findings
+  | Some (dloc, reason) -> (
+      add_audit ctx
+        {
+          Finding.au_file = normalize_source dloc.Location.loc_start.pos_fname;
+          au_line = dloc.Location.loc_start.pos_lnum;
+          au_col =
+            dloc.Location.loc_start.pos_cnum - dloc.Location.loc_start.pos_bol;
+          au_kind = "disjoint";
+          au_rules = [ Rules.name Rules.Par_shared_mutable ];
+          au_reason = reason;
+          au_used = not (List.is_empty findings);
+        };
+      match reason with
+      | Some _ -> ctx.pre_suppressed <- List.map fst findings @ ctx.pre_suppressed
+      | None ->
+          (* reason missing: the suppression is void and itself a finding *)
+          add_finding ctx Rules.Lint_unknown_allow dloc
+            "[@histolint.disjoint] is missing its mandatory reason string";
+          List.iter (fun fc -> ctx.raw <- fc :: ctx.raw) findings)
+
 let iterator ctx =
   let default = Tast_iterator.default_iterator in
   let expr sub (e : Typedtree.expression) =
-    ctx.allows <-
-      allows_of_attributes ~range:e.exp_loc e.exp_attributes @ ctx.allows;
+    collect_allows ctx ~range:e.exp_loc e.exp_attributes;
     (match e.exp_desc with
     | Typedtree.Texp_ident (path, lid, _) ->
         check_ident ctx path lid.loc e.exp_type
+    | Typedtree.Texp_apply _ -> (
+        if Rules.applies Rules.Par_shared_mutable ctx.scope then
+          match
+            Race.check_apply ~table:ctx.table ~modname:ctx.modname
+              ~toplevel:ctx.toplevel ~local_fns:ctx.local_fns e
+          with
+          | None -> ()
+          | Some v -> handle_race_verdict ctx v)
     | _ -> ());
     default.expr sub e
   in
   let value_binding sub (vb : Typedtree.value_binding) =
-    ctx.allows <-
-      allows_of_attributes ~range:vb.vb_loc vb.vb_attributes @ ctx.allows;
+    collect_allows ctx ~range:vb.vb_loc vb.vb_attributes;
+    (match (vb.vb_pat.pat_desc, vb.vb_expr.exp_desc) with
+    | Typedtree.Tpat_var (id, _), Typedtree.Texp_function _ ->
+        ctx.local_fns <- (id, vb.vb_expr) :: ctx.local_fns
+    | _ -> ());
     default.value_binding sub vb
   in
   let structure_item sub (si : Typedtree.structure_item) =
@@ -250,49 +317,185 @@ let iterator ctx =
     | Typedtree.Tstr_attribute attr ->
         (* Floating [@@@histolint.allow]: suppress to end of file. *)
         let range =
-          { si.str_loc with loc_end = { si.str_loc.loc_end with pos_cnum = max_int } }
+          { si.str_loc with
+            loc_end = { si.str_loc.loc_end with pos_cnum = max_int } }
         in
-        ctx.allows <- allows_of_attributes ~range [ attr ] @ ctx.allows
+        collect_allows ctx ~range [ attr ]
     | _ -> ());
     default.structure_item sub si
   in
   { default with expr; value_binding; structure_item }
 
+(* --- alloc pass + markers ----------------------------------------------- *)
+
+let run_alloc_pass ctx (msum : Summary.module_summary) =
+  if Rules.applies Rules.Hot_alloc ctx.scope then begin
+    List.iter
+      (fun (s : Alloc.site) ->
+        let finding =
+          {
+            Finding.file = s.af_loc.Summary.s_file;
+            line = s.af_loc.Summary.s_line;
+            col = s.af_loc.Summary.s_col;
+            rule = Rules.Hot_alloc;
+            message = s.af_msg;
+          }
+        in
+        ctx.raw <- (finding, s.af_loc.Summary.s_cnum) :: ctx.raw)
+      (Alloc.check_module ~table:ctx.table msum);
+    List.iter
+      (fun (mk : Summary.marker) ->
+        add_audit ctx
+          {
+            Finding.au_file = mk.mk_loc.Summary.s_file;
+            au_line = mk.mk_loc.Summary.s_line;
+            au_col = mk.mk_loc.Summary.s_col;
+            au_kind = "alloc_ok";
+            au_rules = [ Rules.name Rules.Hot_alloc ];
+            au_reason = mk.mk_reason;
+            au_used = mk.mk_hits > 0;
+          };
+        if Option.is_none mk.mk_reason then
+          let loc =
+            {
+              Location.loc_start =
+                {
+                  Lexing.pos_fname = mk.mk_loc.Summary.s_file;
+                  pos_lnum = mk.mk_loc.Summary.s_line;
+                  pos_bol = 0;
+                  pos_cnum = mk.mk_loc.Summary.s_col;
+                };
+              loc_end =
+                {
+                  Lexing.pos_fname = mk.mk_loc.Summary.s_file;
+                  pos_lnum = mk.mk_loc.Summary.s_line;
+                  pos_bol = 0;
+                  pos_cnum = mk.mk_loc.Summary.s_col;
+                };
+              loc_ghost = false;
+            }
+          in
+          add_finding ctx Rules.Lint_unknown_allow loc
+            "[@histolint.alloc_ok] is missing its mandatory reason string")
+      msum.m_markers
+  end
+
 (* --- cmt loading -------------------------------------------------------- *)
 
-let scan_cmt config path =
+type unit_info = {
+  u_modname : string;
+  u_source : string;
+  u_structure : Typedtree.structure;
+  u_digest : string;
+}
+
+let load_unit path =
   match (try Some (Cmt_format.read_cmt path) with _ -> None) with
   | None ->
       Printf.eprintf "histolint: warning: cannot read %s\n%!" path;
-      empty_report
+      None
   | Some cmt -> (
       match (cmt.Cmt_format.cmt_annots, cmt.Cmt_format.cmt_sourcefile) with
       | Cmt_format.Implementation structure, Some source ->
-          let source = normalize_source source in
-          let scope =
-            Rules.scope_of_path ~lib_prefixes:config.lib_prefixes source
-          in
-          let ctx =
-            { scope; fallback_file = source; raw = []; allows = [] }
-          in
-          let it = iterator ctx in
-          it.structure it structure;
-          let live, suppressed =
-            List.partition
-              (fun (finding, cnum) ->
-                not
-                  (List.exists
-                     (fun allow ->
-                       allow_matches allow ~file:finding.Finding.file ~cnum
-                         ~rule_name:(Rules.name finding.Finding.rule))
-                     ctx.allows))
-              ctx.raw
-          in
+          Some
+            {
+              u_modname = cmt.Cmt_format.cmt_modname;
+              u_source = normalize_source source;
+              u_structure = structure;
+              u_digest = Digest.to_hex (Digest.file path);
+            }
+      | _ -> None)
+
+let summarize config u =
+  let cached =
+    match config.summaries_dir with
+    | None -> None
+    | Some dir -> Summary.load dir ~modname:u.u_modname ~digest:u.u_digest
+  in
+  match cached with
+  | Some ms -> ms
+  | None ->
+      let ms =
+        Summary.of_structure ~modname:u.u_modname ~source:u.u_source
+          u.u_structure
+      in
+      (match config.summaries_dir with
+      | None -> ()
+      | Some dir -> Summary.store dir ~modname:u.u_modname ~digest:u.u_digest ms);
+      ms
+
+let toplevel_stamps (str : Typedtree.structure) =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (si : Typedtree.structure_item) ->
+      match si.str_desc with
+      | Typedtree.Tstr_value (_, vbs) ->
+          List.iter
+            (fun (vb : Typedtree.value_binding) ->
+              List.iter
+                (fun id -> Hashtbl.replace tbl (Ident.unique_name id) ())
+                (Typedtree.pat_bound_idents vb.vb_pat))
+            vbs
+      | _ -> ())
+    str.str_items;
+  tbl
+
+let scan_unit config table u msum =
+  let scope = Rules.scope_of_path ~lib_prefixes:config.lib_prefixes u.u_source in
+  let ctx =
+    {
+      scope;
+      fallback_file = u.u_source;
+      modname = Summary.canonical u.u_modname;
+      table;
+      toplevel = toplevel_stamps u.u_structure;
+      local_fns = [];
+      raw = [];
+      pre_suppressed = [];
+      allows = [];
+      audits = [];
+    }
+  in
+  let it = iterator ctx in
+  it.structure it u.u_structure;
+  run_alloc_pass ctx msum;
+  let live, suppressed =
+    List.partition
+      (fun (finding, cnum) ->
+        not
+          (List.exists
+             (fun allow ->
+               allow_matches allow ~file:finding.Finding.file ~cnum
+                 ~rule_name:(Rules.name finding.Finding.rule))
+             ctx.allows))
+      ctx.raw
+  in
+  let allow_audits =
+    if audited_scope ctx then
+      List.map
+        (fun allow ->
           {
-            findings = List.map fst live;
-            suppressed = List.map fst suppressed;
-          }
-      | _ -> empty_report)
+            Finding.au_file = allow.allow_file;
+            au_line = allow.allow_line;
+            au_col = allow.allow_col;
+            au_kind = "allow";
+            au_rules = allow.allow_rules;
+            au_reason = None;
+            au_used =
+              List.exists
+                (fun (finding, cnum) ->
+                  allow_matches allow ~file:finding.Finding.file ~cnum
+                    ~rule_name:(Rules.name finding.Finding.rule))
+                suppressed;
+          })
+        ctx.allows
+    else []
+  in
+  {
+    findings = List.map fst live;
+    suppressed = List.map fst suppressed @ ctx.pre_suppressed;
+    audit = allow_audits @ ctx.audits;
+  }
 
 (* --- recursive scan ----------------------------------------------------- *)
 
@@ -301,18 +504,33 @@ let rec collect_cmts acc path =
     if Sys.is_directory path then
       Sys.readdir path |> Array.to_list
       |> List.sort String.compare
-      |> List.fold_left (fun acc e -> collect_cmts acc (Filename.concat path e)) acc
+      |> List.fold_left
+           (fun acc e -> collect_cmts acc (Filename.concat path e))
+           acc
     else if Filename.check_suffix path ".cmt" then path :: acc
     else acc
   else acc
 
-let scan_paths config paths =
-  let cmts = List.fold_left collect_cmts [] paths |> List.sort String.compare in
-  let report =
-    List.fold_left (fun acc cmt -> merge acc (scan_cmt config cmt)) empty_report
-      cmts
-  in
+let finalize report =
   {
     findings = List.sort_uniq Finding.compare report.findings;
     suppressed = List.sort_uniq Finding.compare report.suppressed;
+    audit = List.sort_uniq Finding.audit_compare report.audit;
   }
+
+let scan_units config units =
+  let summaries = List.map (fun u -> (u, summarize config u)) units in
+  let table = Summary.build_table (List.map snd summaries) in
+  finalize
+    (List.fold_left
+       (fun acc (u, msum) -> merge acc (scan_unit config table u msum))
+       empty_report summaries)
+
+let scan_paths config paths =
+  let cmts = List.fold_left collect_cmts [] paths |> List.sort String.compare in
+  scan_units config (List.filter_map load_unit cmts)
+
+let scan_cmt config path =
+  match load_unit path with
+  | None -> empty_report
+  | Some u -> scan_units config [ u ]

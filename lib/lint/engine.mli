@@ -1,24 +1,32 @@
-(** The histolint engine: loads compiled typedtrees ([.cmt] files,
-    via [compiler-libs.common]), walks them with a [Tast_iterator],
-    and reports rule violations.
+(** The histolint engine, v2: loads compiled typedtrees ([.cmt]
+    files, via [compiler-libs.common]) and lints them in two passes.
 
-    Working on the *typedtree* rather than source text means the
-    checks see resolved paths (a locally-rebound [compare] is not
-    flagged; [Stdlib.Random.int] is flagged however it is spelled) and
-    the instantiated type of every polymorphic comparison — which is
-    what lets [float/poly-compare] distinguish [Array.sort compare]
-    on a [float array] from the same call on an [int array].
+    Pass A computes a per-function summary of every compilation unit
+    ({!Summary}), cached under [summaries_dir] keyed by cmt digest so
+    repeated runs only re-summarize what changed, and builds the
+    cross-module table.  Pass B walks each typedtree running the v1
+    per-expression rules, the interprocedural domain-safety pass
+    ({!Race}) at every [Parkit.Pool] call site, and the hot-path
+    allocation pass ({!Alloc}) over the summaries.
 
     Suppression: a [[@histolint.allow "rule"]] attribute on an
     expression or a [let]-binding suppresses matching findings inside
     that node; a floating [[@@@histolint.allow "rule"]] suppresses the
-    rest of the file.  Suppressed findings are still returned (audit
-    trail), just separated from live ones. *)
+    rest of the file; [[@histolint.disjoint "reason"]] on a pool
+    application suppresses that site's race findings;
+    [[@histolint.alloc_ok "reason"]] on a sub-expression exempts its
+    allocations.  Every suppression site lands in the [audit] list
+    (with its reason and whether it covered anything), and naming an
+    unknown rule id — or omitting a mandatory reason — is itself a
+    [lint/unknown-allow] finding. *)
 
 type config = {
   lib_prefixes : string list;
       (** extra path prefixes classified as [lib/] — the linter's own
           fixture tree uses this; empty by default *)
+  summaries_dir : string option;
+      (** where to cache marshaled module summaries; [None] disables
+          caching (summaries are still computed in memory) *)
 }
 
 val default_config : config
@@ -26,6 +34,7 @@ val default_config : config
 type report = {
   findings : Finding.t list;  (** live findings, sorted *)
   suppressed : Finding.t list;  (** suppressed by an allow attribute, sorted *)
+  audit : Finding.audit list;  (** every suppression site, sorted *)
 }
 
 val empty_report : report
@@ -34,12 +43,17 @@ val merge : report -> report -> report
 val errors : report -> int
 val warnings : report -> int
 
+val rule_counts : report -> (string * int) list
+(** Live findings per rule name, rules with zero findings omitted;
+    ordered by the [Rules.all] declaration order. *)
+
 val scan_cmt : config -> string -> report
-(** Lint one [.cmt] file.  Files that are unreadable, interface-only,
-    or whose source path cannot be classified produce an empty
-    report. *)
+(** Lint one [.cmt] file (the cross-module table then only contains
+    that unit's own summaries).  Files that are unreadable,
+    interface-only, or whose source path cannot be classified produce
+    an empty report. *)
 
 val scan_paths : config -> string list -> report
 (** Recursively collect [.cmt] files under each path (directories are
-    walked in sorted order, so reports are deterministic) and lint
-    them all. *)
+    walked in sorted order, so reports are deterministic), summarize
+    them all, and lint them against the combined table. *)

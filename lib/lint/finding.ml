@@ -44,3 +44,45 @@ let to_json t =
     (json_escape t.file) t.line t.col (Rules.name t.rule)
     (Rules.severity_name (Rules.severity t.rule))
     (json_escape t.message)
+
+(* --- suppression audit entries ------------------------------------------ *)
+
+type audit = {
+  au_file : string;
+  au_line : int;
+  au_col : int;
+  au_kind : string;  (** "allow" | "disjoint" | "alloc_ok" *)
+  au_rules : string list;
+  au_reason : string option;
+  au_used : bool;
+}
+
+let audit_compare a b =
+  let c = String.compare a.au_file b.au_file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.au_line b.au_line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.au_col b.au_col in
+      if c <> 0 then c else String.compare a.au_kind b.au_kind
+
+let audit_to_human a =
+  Printf.sprintf "%s:%d:%d: audit [%s] rules=%s%s%s" a.au_file a.au_line
+    a.au_col a.au_kind
+    (String.concat "," a.au_rules)
+    (match a.au_reason with
+    | Some r -> Printf.sprintf " reason=%S" r
+    | None -> "")
+    (if a.au_used then "" else " (unused)")
+
+let audit_to_json a =
+  Printf.sprintf
+    "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"kind\":\"%s\",\"rules\":[%s],\"reason\":%s,\"used\":%b}"
+    (json_escape a.au_file) a.au_line a.au_col (json_escape a.au_kind)
+    (String.concat ","
+       (List.map (fun r -> Printf.sprintf "\"%s\"" (json_escape r)) a.au_rules))
+    (match a.au_reason with
+    | Some r -> Printf.sprintf "\"%s\"" (json_escape r)
+    | None -> "null")
+    a.au_used

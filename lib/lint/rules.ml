@@ -7,6 +7,9 @@ type t =
   | Float_poly_compare
   | Poly_compare_structural
   | Par_raw_domain
+  | Par_shared_mutable
+  | Hot_alloc
+  | Lint_unknown_allow
 
 type scope = Lib | Lib_parallel | Bin | Test | Bench | Other
 
@@ -18,6 +21,9 @@ let all =
     Float_poly_compare;
     Poly_compare_structural;
     Par_raw_domain;
+    Par_shared_mutable;
+    Hot_alloc;
+    Lint_unknown_allow;
   ]
 
 let name = function
@@ -27,13 +33,16 @@ let name = function
   | Float_poly_compare -> "float/poly-compare"
   | Poly_compare_structural -> "poly/compare-structural"
   | Par_raw_domain -> "par/raw-domain"
+  | Par_shared_mutable -> "par/shared-mutable-capture"
+  | Hot_alloc -> "hot/alloc"
+  | Lint_unknown_allow -> "lint/unknown-allow"
 
 let of_name s = List.find_opt (fun r -> String.equal (name r) s) all
 
 let severity = function
   | Poly_compare_structural -> Warn
   | Det_stdlib_random | Det_hashtbl_order | Det_wallclock | Float_poly_compare
-  | Par_raw_domain ->
+  | Par_raw_domain | Par_shared_mutable | Hot_alloc | Lint_unknown_allow ->
       Error
 
 let severity_name = function Warn -> "warning" | Error -> "error"
@@ -60,6 +69,85 @@ let describe = function
   | Par_raw_domain ->
       "Domain.spawn outside lib/parallel bypasses Parkit.Pool and its \
        pre-split RNG discipline"
+  | Par_shared_mutable ->
+      "a closure handed to Parkit.Pool.run/iter/map/init captures mutable \
+       state shared with other domains; use pool-index-disjoint slots or an \
+       audited [@histolint.disjoint \"reason\"]"
+  | Hot_alloc ->
+      "a function marked [@histolint.hot] (or one it calls) allocates; hot \
+       paths must stay allocation-free, or audit the site with \
+       [@histolint.alloc_ok \"reason\"]"
+  | Lint_unknown_allow ->
+      "a suppression attribute names an unknown rule id or is missing its \
+       audit reason; suppressions must be checkable"
+
+let explain = function
+  | Par_shared_mutable ->
+      "par/shared-mutable-capture — interprocedural domain-safety lint.\n\n\
+       Every closure passed to Parkit.Pool.run/iter/map/init (or \
+       Domain.spawn) may execute on another domain concurrently with its \
+       siblings.  The lint computes a capture summary for the closure: every \
+       mutable location it can reach (refs, arrays, Bytes, Buffer, Hashtbl, \
+       mutable record fields), both directly and through helper calls \
+       resolved bottom-up from the per-module summaries (see --summaries).  \
+       A closure that reads or writes a captured mutable location is \
+       flagged, because a sibling running on another domain can reach the \
+       same location: that is a data race, and data races are exactly the \
+       nondeterminism the bit-identical replay gates (E20/E21) exist to \
+       rule out.\n\n\
+       Two patterns are recognized as safe and not flagged:\n\
+       \  - index-disjoint slots: `arr.(i) <- v` where the index expression \
+       mentions a parameter of the closure itself — each task writes its \
+       own slot, and Pool's join is the happens-before edge that publishes \
+       the writes;\n\
+       \  - state reached only through the closure's own parameters — the \
+       pool hands each task its own value.\n\n\
+       Anything else needs an audited [@histolint.disjoint \"reason\"] on \
+       the call site; the reason is mandatory and lands in the suppression \
+       audit trail (JSON `audit` array).\n\n\
+       Example finding:\n\
+       \  let hits = ref 0 in\n\
+       \  Parkit.Pool.iter pool (fun x -> if p x then incr hits) data\n\
+       \  ^ `hits` is captured by every task; increments race.\n\n\
+       Fix: return per-task results via Pool.map, or write to \
+       results.(slot) where `slot` derives from the task argument."
+  | Hot_alloc ->
+      "hot/alloc — hot-path allocation discipline.\n\n\
+       Mark a function [@histolint.hot] and the lint checks, transitively \
+       through the per-module call summaries, that executing it allocates \
+       nothing on the OCaml heap: no closure creation, no tuple/record/\
+       variant construction, no partial application, no calls to known \
+       allocators (Array.make, String.sub, Printf.sprintf, List.map, ...).  \
+       Findings point at the allocating sub-expression, or at the call \
+       whose callee allocates (with a witness chain).\n\n\
+       Deliberately not flagged:\n\
+       \  - `ref`/local mutable state that does not escape — flambda-less \
+       ocamlopt unboxes non-escaping refs, and Scan.scan leans on this;\n\
+       \  - Int64 arithmetic — the xoshiro draws are written to stay \
+       unboxed;\n\
+       \  - raise/invalid_arg/failwith/assert guard branches — error paths \
+       are allowed to allocate.\n\n\
+       An allocation that is considered acceptable (cold resize branch, \
+       error rendering) is audited in place:\n\
+       \  (grow t [@histolint.alloc_ok \"amortized arena resize\"])\n\
+       The reason is mandatory and lands in the audit trail.\n\n\
+       Example finding:\n\
+       \  let[@histolint.hot] f x = (x, x)\n\
+       \  ^ tuple construction allocates 3 words per call."
+  | Lint_unknown_allow ->
+      "lint/unknown-allow — suppressions must be checkable.\n\n\
+       [@histolint.allow \"rule\"] must name rule ids the engine knows \
+       (see --rules), [@histolint.disjoint]/[@histolint.alloc_ok] must \
+       carry a non-empty reason string.  A typo'd rule id would otherwise \
+       silently suppress nothing (or worse, rot after a rename); a missing \
+       reason defeats the audit trail.  The engine exits non-zero on \
+       both."
+  | r ->
+      (* v1 rules: the one-line description plus the suppression recipe. *)
+      Printf.sprintf
+        "%s\n\n%s\n\nSuppress a deliberate use with [@histolint.allow \
+         \"%s\"] on the expression or binding."
+        (name r) (describe r) (name r)
 
 let has_prefix ~prefix s =
   String.length s >= String.length prefix
@@ -88,4 +176,11 @@ let applies rule scope =
   | Poly_compare_structural, (Lib | Lib_parallel | Bin) -> true
   (* lib/parallel is the one place allowed to spawn domains. *)
   | Par_raw_domain, (Lib | Bin) -> true
+  (* lib/parallel's own worker loop intentionally shares the task queue;
+     the race rule polices pool *clients*. *)
+  | Par_shared_mutable, (Lib | Bin) -> true
+  | Hot_alloc, (Lib | Lib_parallel | Bin) -> true
+  (* Not in Test scope: the fixture tree deliberately contains bad
+     suppressions, and `make lint` scans those cmts. *)
+  | Lint_unknown_allow, (Lib | Lib_parallel | Bin) -> true
   | _, _ -> false

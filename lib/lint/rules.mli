@@ -1,10 +1,17 @@
-(** The histolint rule set, v1.
+(** The histolint rule set, v2.
 
-    Each rule names one static invariant of the determinism / float
-    discipline that the runtime QCheck pins cannot enforce by
-    construction.  Rules are scoped: most bite only in production code
-    (`lib/`, `bin/`), because `test/` and `bench/` legitimately use
-    wall clocks and ad-hoc randomness. *)
+    Each rule names one static invariant of the determinism / float /
+    domain-safety discipline that the runtime QCheck pins cannot enforce
+    by construction.  Rules are scoped: most bite only in production
+    code (`lib/`, `bin/`), because `test/` and `bench/` legitimately use
+    wall clocks and ad-hoc randomness.
+
+    v2 adds two interprocedural passes built on per-function summaries
+    (see {!Summary}): [Par_shared_mutable] (closures handed to
+    [Parkit.Pool] must not capture shared mutable state) and
+    [Hot_alloc] (functions marked [\[@histolint.hot\]] must not
+    allocate, transitively), plus [Lint_unknown_allow] which polices
+    the suppression attributes themselves. *)
 
 type severity = Warn | Error
 
@@ -31,6 +38,25 @@ type t =
       (** [Domain.spawn] outside [lib/parallel]: all parallelism goes
           through [Parkit.Pool] so the pre-split-RNG discipline
           holds. *)
+  | Par_shared_mutable
+      (** A closure passed to [Parkit.Pool.run/iter/map/init] (or
+          [Domain.spawn]) captures a mutable location reachable from a
+          sibling task on another domain, and accesses it other than
+          through the index-disjoint slot pattern.  Interprocedural:
+          helpers the closure calls are resolved through the module
+          summaries.  Audited escape hatch:
+          [\[@histolint.disjoint "reason"\]]. *)
+  | Hot_alloc
+      (** A function marked [\[@histolint.hot\]] — or a function it
+          calls, transitively — allocates: closure/tuple/record/variant
+          construction, partial application, or a call to a known
+          allocator.  Audited escape hatch:
+          [\[@histolint.alloc_ok "reason"\]] on the allocating
+          sub-expression. *)
+  | Lint_unknown_allow
+      (** A [\[@histolint.allow\]] names a rule id the engine does not
+          know, or a [\[@histolint.disjoint\]]/[\[@histolint.alloc_ok\]]
+          is missing its mandatory reason string. *)
 
 (** Where a compilation unit lives, derived from its source path. *)
 type scope = Lib | Lib_parallel | Bin | Test | Bench | Other
@@ -47,6 +73,10 @@ val severity_equal : severity -> severity -> bool
 
 val describe : t -> string
 (** One-line rationale, shown by [histolint --rules]. *)
+
+val explain : t -> string
+(** Multi-paragraph rationale with examples and the suppression recipe,
+    shown by [histolint --explain RULE]. *)
 
 val scope_of_path : lib_prefixes:string list -> string -> scope
 (** Classify a (normalized, repo-relative) source path.  Paths under

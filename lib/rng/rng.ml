@@ -13,7 +13,7 @@ let split t =
 
 let bits64 = Xoshiro.next
 
-let[@inline] int t bound =
+let[@inline] [@histolint.hot] int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection sampling on the top bits (no modulo bias) — performed
      inside Xoshiro so no boxed int64 crosses a function boundary. *)
@@ -23,7 +23,7 @@ let int_in_range t ~lo ~hi =
   if lo > hi then invalid_arg "Rng.int_in_range: lo > hi";
   lo + int t (hi - lo + 1)
 
-let[@inline] float t bound =
+let[@inline] [@histolint.hot] float t bound =
   if bound <= 0. then invalid_arg "Rng.float: bound must be positive";
   (* 53 uniform mantissa bits -> uniform in [0, 1).  [next_top53 t] is
      below 2^53, so [float_of_int] of it equals [Int64.to_float] of the

@@ -35,7 +35,7 @@ let of_seed seed =
   if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then of_state 1L 2L 3L 4L
   else of_state s0 s1 s2 s3
 
-let[@inline] next t =
+let[@inline] [@histolint.hot] next t =
   let s0 = get64 t 0 in
   let s1 = get64 t 8 in
   let s2 = get64 t 16 in
@@ -60,7 +60,7 @@ let[@inline] next t =
    cross-function boxed return would put one allocation back on every
    draw.  Each consumes exactly one state step, like [next]. *)
 
-let next_top53 t =
+let[@histolint.hot] next_top53 t =
   let s0 = get64 t 0 in
   let s1 = get64 t 8 in
   let s2 = get64 t 16 in
@@ -79,7 +79,7 @@ let next_top53 t =
   set64 t 24 s3;
   Int64.to_int (Int64.shift_right_logical result 11)
 
-let rec next_below t bound =
+let[@histolint.hot] rec next_below t bound =
   let s0 = get64 t 0 in
   let s1 = get64 t 8 in
   let s2 = get64 t 16 in

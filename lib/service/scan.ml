@@ -93,7 +93,7 @@ let simple_string line n pos =
 let observe_header = {|{"cmd":"observe","shard":|}
 let counts_header = {|{"cmd":"counts","shard":|}
 
-let scan t line =
+let[@histolint.hot] scan t line =
   let n = String.length line in
   let start_len = t.len in
   let pos = ref 0 in
@@ -109,7 +109,13 @@ let scan t line =
       end
       else raise Fail
     in
-    let shard = simple_string line n pos in
+    let shard =
+      (simple_string
+         line n pos
+       [@histolint.alloc_ok
+         "one shard-id string per accepted line, reused in the response; \
+          the strict parser would build the same string plus a tree"])
+    in
     (match kind with
     | Observe -> lit line n pos {|,"xs":[|}
     | Counts -> lit line n pos {|,"counts":[|});
@@ -150,7 +156,11 @@ let scan t line =
         if !pos >= n then raise Fail;
         let c = Char.code (String.unsafe_get line !pos) in
         (* inline [push]: grow is the rare path *)
-        if t.len = Array.length t.buf then grow t;
+        if t.len = Array.length t.buf then
+          (grow t
+           [@histolint.alloc_ok
+             "amortized doubling of the arena; O(log) growths per \
+              process lifetime"]);
         Array.unsafe_set t.buf t.len (if neg then - !v else !v);
         t.len <- t.len + 1;
         if c = Char.code ',' then incr pos
@@ -163,7 +173,10 @@ let scan t line =
     end;
     if !pos + 1 <> n || Char.code (String.unsafe_get line !pos) <> Char.code '}'
     then raise Fail;
-    Some { kind; shard; off = start_len; len = t.len - start_len }
+    (Some { kind; shard; off = start_len; len = t.len - start_len }
+     [@histolint.alloc_ok
+       "one hit record per accepted line; the payload itself stayed in \
+        the arena"])
   with Fail ->
     t.len <- start_len;
     None

@@ -357,19 +357,25 @@ type rendered =
 (* Digits straight into the buffer: [string_of_int] goes through the
    generic %d formatter plus an allocation, and the hot responses carry
    two integers each.  Counts are never [min_int], so negating is safe. *)
-let rec add_digits buf v =
+let[@histolint.hot] rec add_digits buf v =
   if v >= 10 then add_digits buf (v / 10);
   Buffer.add_char buf (Char.unsafe_chr (48 + (v mod 10)))
 
-let add_int buf v =
+let[@histolint.hot] add_int buf v =
   if v < 0 then begin
     Buffer.add_char buf '-';
     add_digits buf (-v)
   end
   else add_digits buf v
 
-let render buf = function
-  | R_json j -> Jsonl.add_to_buffer buf j
+let[@histolint.hot] render buf = function
+  | R_json j ->
+      (Jsonl.add_to_buffer
+         buf j
+       [@histolint.alloc_ok
+         "R_json responses come from the strict parser / registry \
+          commands, which already allocated a Jsonl tree; they are off \
+          the fast ingest path"])
   | R_observe_ok { shard; added; total } ->
       Buffer.add_string buf {|{"ok":true,"cmd":"observe","shard":|};
       Jsonl.add_escaped buf shard;
@@ -413,12 +419,14 @@ let shard_of_slot = function
       shard
   | S_req _ | S_err _ -> assert false
 
-(* Module-level so the grouping loop allocates no closure per slot. *)
-let rec find_group groups shard =
+(* Module-level so the grouping loop allocates no closure per slot, and
+   raising instead of returning an option keeps the hit path (every slot
+   after a shard's first) allocation-free. *)
+let[@histolint.hot] rec find_group groups shard =
   match groups with
-  | [] -> None
+  | [] -> raise Not_found
   | ((s, _, _) as g) :: rest ->
-      if String.equal s shard then Some g else find_group rest shard
+      if String.equal s shard then g else find_group rest shard
 
 (* Execute one ingest slot against its shard state.  Mirrors [observe] /
    [observe_counts] exactly — including partial ingestion before an
@@ -469,8 +477,8 @@ let exec_run t pool arena_ws slots resp i j =
       let shard = shard_of_slot slots.(k) in
       let ks =
         match find_group !groups shard with
-        | Some (_, _, ks) -> ks
-        | None ->
+        | _, _, ks -> ks
+        | exception Not_found ->
             let st =
               match shard_state t shard with
               | Ok st -> st
@@ -498,7 +506,14 @@ let exec_run t pool arena_ws slots resp i j =
             (List.rev !ks)
         in
         if Parkit.Pool.jobs pool = 1 then Array.iter run_group garr
-        else Parkit.Pool.iter pool run_group garr
+        else
+          (Parkit.Pool.iter
+             pool run_group garr
+           [@histolint.disjoint
+             "groups partition the run's k-indices, so each task writes \
+              its own resp slots and owns its shard state exclusively; \
+              the pool join publishes the writes before the render loop \
+              reads them"])
   end
 
 (* Execute a parsed batch in request order; non-ingest requests are
@@ -540,7 +555,7 @@ type serve_stats = {
 
 (* Matches the whitespace class of [String.trim]: the legacy serve loop
    skipped lines that trim to "". *)
-let is_blank line =
+let[@histolint.hot] is_blank line =
   let n = String.length line in
   let i = ref 0 in
   while

@@ -61,7 +61,7 @@ let count t x = t.counts.(x)
 let cell_count_of t j = t.cell_counts.(j)
 let cell_mass t j = t.mass_sum.(j) +. t.mass_comp.(j)
 
-let add_weight t j w =
+let[@histolint.hot] add_weight t j w =
   let sum = t.mass_sum.(j) in
   let s = sum +. w in
   if Float.abs sum >= Float.abs w then
@@ -69,7 +69,7 @@ let add_weight t j w =
   else t.mass_comp.(j) <- t.mass_comp.(j) +. ((w -. s) +. sum);
   t.mass_sum.(j) <- s
 
-let observe ?(weight = 1.) t x =
+let[@histolint.hot] observe ?(weight = 1.) t x =
   if x < 0 || x >= domain_size t then
     invalid_arg "Suffstat.observe: outside domain";
   t.counts.(x) <- t.counts.(x) + 1;
@@ -87,7 +87,7 @@ let observe ?(weight = 1.) t x =
    either way.  Out-of-domain elements raise [observe]'s error at the
    offending element with the prefix fully ingested, matching the
    element-at-a-time semantics the service's error responses pin. *)
-let observe_sub t xs ~pos ~len =
+let[@histolint.hot] observe_sub t xs ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Array.length xs then
     invalid_arg "Suffstat.observe_sub: slice outside array";
   let n = Array.length t.counts in

@@ -11,19 +11,34 @@ type t = {
 
 let create () = { counts = [||]; samples = [||]; per_cell = [||] }
 
-let counts t n =
+let[@histolint.hot] counts t n =
   if n < 0 then invalid_arg "Workspace.counts: negative length";
-  if Array.length t.counts <> n then t.counts <- Array.make n 0;
+  if Array.length t.counts <> n then
+    t.counts <-
+      (Array.make n 0
+       [@histolint.alloc_ok
+         "resize on first use of a new domain size; every later trial \
+          on that size is a cache hit"]);
   t.counts
 
-let samples t m =
+let[@histolint.hot] samples t m =
   if m < 0 then invalid_arg "Workspace.samples: negative length";
-  if Array.length t.samples <> m then t.samples <- Array.make m 0;
+  if Array.length t.samples <> m then
+    t.samples <-
+      (Array.make m 0
+       [@histolint.alloc_ok
+         "resize on first use of a new sample budget; every later trial \
+          on that budget is a cache hit"]);
   t.samples
 
-let per_cell t k =
+let[@histolint.hot] per_cell t k =
   if k < 0 then invalid_arg "Workspace.per_cell: negative length";
-  if Array.length t.per_cell <> k then t.per_cell <- Array.make k 0.;
+  if Array.length t.per_cell <> k then
+    t.per_cell <-
+      (Array.make k 0.
+       [@histolint.alloc_ok
+         "resize on first use of a new partition arity; every later \
+          trial on that arity is a cache hit"]);
   t.per_cell
 
 (* One workspace per domain, created lazily.  Trials scheduled onto the

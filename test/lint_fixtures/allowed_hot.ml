@@ -1,0 +1,9 @@
+(* A hot function whose one allocation sits under an audited
+   [@histolint.alloc_ok] region: no finding, but the marker must appear
+   in the audit trail. *)
+
+let[@histolint.hot] label (n : int) =
+  (string_of_int
+     n
+   [@histolint.alloc_ok
+     "fixture: audited cold region inside a hot function"])

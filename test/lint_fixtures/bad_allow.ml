@@ -1,0 +1,5 @@
+(* lint/unknown-allow: the suppression names a rule id that does not
+   exist (a typo of det/stdlib-random), so it is dead — the engine must
+   flag the allow itself AND keep the underlying finding live. *)
+
+let roll () = Stdlib.Random.int 6 [@@histolint.allow "det/stdlib-rand"]

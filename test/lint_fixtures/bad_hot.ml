@@ -1,0 +1,4 @@
+(* hot/alloc, direct: a [@histolint.hot] function that builds a tuple
+   on every call. *)
+
+let[@histolint.hot] pair x y = (x, y)

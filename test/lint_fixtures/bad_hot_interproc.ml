@@ -1,0 +1,4 @@
+(* hot/alloc, transitive: the hot body allocates nothing itself — the
+   allocation is one call deep, found through the summary table. *)
+
+let[@histolint.hot] twice x = Hot_helper.dup x

@@ -1,0 +1,11 @@
+(* Clean hot functions: integer arithmetic, a loop, a local ref.  Must
+   produce no findings. *)
+
+let[@histolint.hot] fma (a : int) b c = (a * b) + c
+
+let[@histolint.hot] sum_to (n : int) =
+  let s = ref 0 in
+  for i = 1 to n do
+    s := !s + i
+  done;
+  !s

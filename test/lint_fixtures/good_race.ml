@@ -1,0 +1,9 @@
+(* Clean by the disjoint-slot exemption: each task writes only the slot
+   named by its own index parameter, and the pool join publishes the
+   writes.  Must produce no findings. *)
+
+let fill pool (out : int array) (xs : int array) =
+  let _ =
+    Parkit.Pool.init pool (Array.length xs) (fun i -> out.(i) <- xs.(i) * 2)
+  in
+  ()

@@ -1,0 +1,5 @@
+(* Helper for the interprocedural hot fixture: not hot itself, but it
+   allocates — any hot caller must be flagged with this as the
+   witness. *)
+
+let dup x = [ x; x ]

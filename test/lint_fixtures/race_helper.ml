@@ -1,0 +1,9 @@
+(* Helpers for the interprocedural race fixture: one mutates its
+   parameter, one writes module-level state.  Neither is a violation
+   here — the hazard appears when a pool task reaches them. *)
+
+let bump (c : int ref) = c := !c + 1
+
+let tally = ref 0
+
+let record () = tally := !tally + 1

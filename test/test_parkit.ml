@@ -151,6 +151,29 @@ let test_exception_propagates_chunked () =
             (Parkit.Pool.init pool 3 (fun i -> i))))
     [ 1; 4; 100 ]
 
+(* The disjoint-slot pattern histolint's race pass sanctions
+   ([out.(i) <- ...] with the index naming the task's own parameter) is
+   actually race-free under the pool's happens-before join: for
+   arbitrary sizes, job counts, and grains — including chunk boundaries
+   that split the index space adversarially — every slot ends up
+   written exactly once with the sequential value.  The read-
+   modify-write against the -1 sentinel makes a lost write (slot never
+   claimed) and a duplicated write (slot claimed by two tasks) produce
+   distinct wrong values, so either failure falsifies the property. *)
+let qcheck_disjoint_slot_writes =
+  QCheck.Test.make ~name:"pool-indexed slot writes are race-free" ~count:60
+    QCheck.(triple (int_range 0 500) (int_range 1 6) (int_range 1 64))
+    (fun (n, jobs, grain) ->
+      Parkit.Pool.with_pool ~grain ~jobs (fun pool ->
+          let dst = Array.make (max n 1) (-1) in
+          let src = Array.init n (fun i -> i) in
+          Parkit.Pool.iter pool (fun i -> dst.(i) <- dst.(i) + (7 * i) + 1) src;
+          let ok = ref true in
+          for i = 0 to n - 1 do
+            if dst.(i) <> 7 * i then ok := false
+          done;
+          !ok && (n > 0 || dst.(0) = -1)))
+
 let test_default_jobs_positive () =
   Alcotest.(check bool) "at least one" true (Parkit.Pool.default_jobs () >= 1)
 
@@ -184,6 +207,7 @@ let () =
             test_exception_propagates;
           Alcotest.test_case "exception propagates (chunked)" `Quick
             test_exception_propagates_chunked;
+          QCheck_alcotest.to_alcotest qcheck_disjoint_slot_writes;
           Alcotest.test_case "default jobs" `Quick test_default_jobs_positive;
           Alcotest.test_case "set_default" `Quick test_set_default;
         ] );
