@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint lint-json lint-fixtures bench-smoke bench-parallel bench-closest bench-counts bench-merge bench-serve bench clean
+.PHONY: all build test lint lint-json lint-fixtures bench-smoke bench-parallel bench-closest bench-counts bench-merge bench-serve bench-net bench clean
 
 all: build
 
@@ -83,6 +83,16 @@ bench-merge:
 # at batch >= 64, and structure-cache hit rates to BENCH_serve.json.
 bench-serve:
 	dune exec bench/main.exe -- e21
+
+# The socket-transport gate (E22 quick mode): every client's response
+# stream over loopback TCP through the Netio reactor must be
+# BYTE-IDENTICAL to stdio serve on that client's request stream, at
+# every (clients, batch, jobs) grid point, on both an accepting and a
+# rejecting corpus; and single-client socket throughput must be within
+# 1.3x of stdio serve over real pipes.  Non-zero exit on either gate;
+# appends one machine-readable line to BENCH_net.json.
+bench-net:
+	dune exec bench/main.exe -- e22
 
 bench:
 	dune exec bench/main.exe

@@ -32,6 +32,7 @@ let experiments =
     ("e19", E19_counts.run);
     ("e20", E20_merge.run);
     ("e21", E21_serve.run);
+    ("e22", E22_net.run);
   ]
 
 let () =
@@ -80,7 +81,7 @@ let () =
             match List.assoc_opt (String.lowercase_ascii name) experiments with
             | Some f -> Some (name, f)
             | None ->
-                Format.eprintf "unknown experiment %S (known: e1..e21)@." name;
+                Format.eprintf "unknown experiment %S (known: e1..e22)@." name;
                 None)
           names
   in

@@ -18,95 +18,35 @@
    Responses are byte-identical to line-at-a-time single-domain serve at
    any (batch, jobs) — the contract the E21 bench gates.
 
+   Socket mode (--listen addr:port and/or --unix path): the same engine
+   behind the Netio reactor — one select loop, up to --max-conns
+   concurrent clients, per-connection batched executors, bounded
+   outbound queues with backpressure.  Per-connection response streams
+   are byte-identical to stdio serve on the same request stream (the
+   contract the E22 bench gates); shard state is shared across clients.
+
    Replay mode (--replay): prove the determinism contract — ingest a
    corpus single-process and sharded (round-robin, shard-per-domain via
    the parkit pool), merge under fold and tree topologies, and require
    bit-identical statistics and verdicts.  Exit status 1 on any
    divergence, so CI can gate on it. *)
 
-(* Buffered line reader over a raw fd: the serve loop needs to know
-   whether another line is available *without blocking* (to fill a
-   batch), which neither input_line nor in_channel buffering can answer.
-   Reads land in large chunks; availability = leftover buffered bytes or
-   a 0-timeout select on the fd. *)
-module Reader = struct
-  type t = {
-    fd : Unix.file_descr;
-    mutable buf : Bytes.t;
-    mutable pos : int; (* next unread byte *)
-    mutable len : int; (* valid bytes in buf *)
-    mutable eof : bool;
-  }
-
-  let create fd =
-    { fd; buf = Bytes.create 65536; pos = 0; len = 0; eof = false }
-
-  let make_room r =
-    if r.pos > 0 then begin
-      Bytes.blit r.buf r.pos r.buf 0 (r.len - r.pos);
-      r.len <- r.len - r.pos;
-      r.pos <- 0
-    end;
-    if r.len = Bytes.length r.buf then begin
-      (* a line longer than the buffer: grow *)
-      let nb = Bytes.create (2 * Bytes.length r.buf) in
-      Bytes.blit r.buf 0 nb 0 r.len;
-      r.buf <- nb
-    end
-
-  (* Pull more bytes; false when nothing was added (EOF, or nothing
-     ready in non-blocking mode). *)
-  let refill r ~block =
-    if r.eof then false
-    else
-      let ready =
-        block
-        ||
-        match Unix.select [ r.fd ] [] [] 0.0 with
-        | [], _, _ -> false
-        | _ -> true
-      in
-      if not ready then false
-      else begin
-        make_room r;
-        let k = Unix.read r.fd r.buf r.len (Bytes.length r.buf - r.len) in
-        if k = 0 then begin
-          r.eof <- true;
-          false
-        end
-        else begin
-          r.len <- r.len + k;
-          true
-        end
-      end
-
-  let rec next_line r ~block =
-    let i = ref r.pos in
-    while !i < r.len && not (Char.equal (Bytes.get r.buf !i) '\n') do
-      incr i
-    done;
-    if !i < r.len then begin
-      let line = Bytes.sub_string r.buf r.pos (!i - r.pos) in
-      r.pos <- !i + 1;
-      Some line
-    end
-    else if r.eof then
-      if r.pos < r.len then begin
-        (* final line without a trailing newline, like input_line *)
-        let line = Bytes.sub_string r.buf r.pos (r.len - r.pos) in
-        r.pos <- r.len;
-        Some line
-      end
-      else None
-    else if refill r ~block then next_line r ~block
-    else if r.eof then next_line r ~block
-    else None
-end
-
-let serve ~batch ~fast_path =
+(* stdin/stdout, one client: the PR 8 loop, reading through the
+   (extracted, now line-length-bounded) Netio.Reader.  An over-long line
+   answers with the same wire error the reactor sends, then exits 1 —
+   it cannot be parsed without unbounded buffering. *)
+let serve ~batch ~fast_path ~max_line_bytes =
   let service = Service.create () in
-  let reader = Reader.create Unix.stdin in
-  let read_line ~block = Reader.next_line reader ~block in
+  let reader = Netio.Reader.create ~max_line_bytes Unix.stdin in
+  let overflow = ref false in
+  let read_line ~block =
+    match Netio.Reader.next_line reader ~block with
+    | Netio.Reader.Line l -> Some l
+    | Netio.Reader.Pending | Netio.Reader.Eof -> None
+    | Netio.Reader.Too_long ->
+        overflow := true;
+        None
+  in
   let write buf =
     Buffer.output_buffer stdout buf;
     flush stdout
@@ -114,7 +54,55 @@ let serve ~batch ~fast_path =
   let _stats : Service.serve_stats =
     Service.serve service ~batch ~fast_path ~read_line ~write
   in
-  0
+  if !overflow then begin
+    print_string (Netio.overlong_error max_line_bytes);
+    print_newline ();
+    flush stdout;
+    1
+  end
+  else 0
+
+let serve_net ~batch ~fast_path ~listen ~unix_path ~max_conns ~max_line_bytes =
+  let addrs =
+    (match listen with
+    | None -> []
+    | Some spec -> (
+        match Netio.addr_of_string spec with
+        | Ok a -> [ a ]
+        | Error msg -> failwith msg))
+    @ match unix_path with None -> [] | Some p -> [ Netio.Unix_path p ]
+  in
+  match
+    List.map
+      (fun addr ->
+        let fd = Netio.listener addr in
+        (addr, fd))
+      addrs
+  with
+  | exception Failure msg ->
+      prerr_endline ("error: " ^ msg);
+      2
+  | exception Unix.Unix_error (err, fn, arg) ->
+      Format.eprintf "error: cannot listen (%s %s: %s)@." fn arg
+        (Unix.error_message err);
+      2
+  | bound ->
+      List.iter
+        (fun (addr, fd) ->
+          let shown =
+            match addr with
+            | Netio.Tcp (host, 0) ->
+                Netio.pp_addr (Netio.Tcp (host, Netio.bound_port fd))
+            | a -> Netio.pp_addr a
+          in
+          Format.eprintf "histotestd: listening on %s@." shown)
+        bound;
+      let service = Service.create () in
+      let _stats : Netio.stats =
+        Netio.serve_net service ~batch ~fast_path ~max_conns ~max_line_bytes
+          ~listeners:(List.map snd bound) ()
+      in
+      0
 
 let replay ~file ~samples ~family ~n ~eps ~cells ~seed ~shards =
   match Service.family_of_spec ~n ~seed family with
@@ -248,6 +236,43 @@ let no_fast_path_flag =
            instead of the observe/counts fast path (responses are \
            byte-identical either way; useful for differential testing).")
 
+let listen_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "listen" ] ~docv:"ADDR:PORT"
+        ~doc:
+          "Serve over TCP: accept concurrent clients on $(docv) (empty \
+           host or * = all interfaces, port 0 = ephemeral) instead of \
+           stdin/stdout.  Combinable with $(b,--unix).")
+
+let unix_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "unix" ] ~docv:"PATH"
+        ~doc:
+          "Serve over a Unix-domain socket bound at $(docv) (a stale \
+           socket file is replaced).  Combinable with $(b,--listen).")
+
+let max_conns_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-conns" ] ~docv:"N"
+        ~doc:
+          "Socket mode: maximum concurrent connections; past it, new \
+           clients wait in the kernel backlog until a slot frees.")
+
+let max_line_bytes_arg =
+  Arg.(
+    value
+    & opt int Netio.Reader.default_max_line_bytes
+    & info [ "max-line-bytes" ] ~docv:"BYTES"
+        ~doc:
+          "Reject request lines longer than $(docv) (default 1 MiB) with \
+           a wire error instead of buffering them without bound; in \
+           socket mode the offending connection is closed.")
+
 (* --file/--samples/--family/--shards configure only the replay corpus;
    serve mode takes its hypothesis from `config` requests, so passing
    them without --replay is a misuse worth flagging. *)
@@ -271,7 +296,7 @@ let warn_replay_only_flags ~file ~samples ~family ~shards =
         (String.concat ", " names)
 
 let run replay_mode file samples family n eps cells seed shards jobs batch
-    no_fast_path =
+    no_fast_path listen unix_path max_conns max_line_bytes =
   if jobs > 0 then Parkit.Pool.set_default ~jobs;
   if replay_mode then
     replay ~file
@@ -285,19 +310,32 @@ let run replay_mode file samples family n eps cells seed shards jobs batch
       prerr_endline "error: --batch must be at least 1";
       2
     end
-    else serve ~batch ~fast_path:(not no_fast_path)
+    else if max_line_bytes < 1 then begin
+      prerr_endline "error: --max-line-bytes must be at least 1";
+      2
+    end
+    else if max_conns < 1 then begin
+      prerr_endline "error: --max-conns must be at least 1";
+      2
+    end
+    else if Option.is_some listen || Option.is_some unix_path then
+      serve_net ~batch ~fast_path:(not no_fast_path) ~listen ~unix_path
+        ~max_conns ~max_line_bytes
+    else serve ~batch ~fast_path:(not no_fast_path) ~max_line_bytes
   end
 
 let cmd =
   let doc =
     "histogram-testing service: merge per-shard sufficient statistics, \
-     serve incremental verdicts over line-oriented JSON"
+     serve incremental verdicts over line-oriented JSON — on \
+     stdin/stdout, TCP, or a Unix-domain socket"
   in
   Cmd.v
     (Cmd.info "histotestd" ~version:"1.0.0" ~doc)
     Term.(
       const run $ replay_flag $ file_arg $ samples_arg $ family_arg $ n_arg
       $ eps_arg $ cells_arg $ seed_arg $ shards_arg $ jobs_arg $ batch_arg
-      $ no_fast_path_flag)
+      $ no_fast_path_flag $ listen_arg $ unix_arg $ max_conns_arg
+      $ max_line_bytes_arg)
 
 let () = exit (Cmd.eval' cmd)

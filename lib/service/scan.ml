@@ -44,16 +44,17 @@ let grow t =
 
 exception Fail
 
-(* [line] starts with literal [s] (which is never empty). *)
-let prefix line n s =
+(* [line] carries literal [s] (never empty) starting at [lo], within the
+   window bounded by [hi]. *)
+let prefix line lo hi s =
   let l = String.length s in
-  l <= n
+  lo + l <= hi
   &&
   let ok = ref true in
   let i = ref 0 in
   while !ok && !i < l do
     if
-      Char.code (String.unsafe_get line !i)
+      Char.code (String.unsafe_get line (lo + !i))
       <> Char.code (String.unsafe_get s !i)
     then ok := false
     else incr i
@@ -93,18 +94,21 @@ let simple_string line n pos =
 let observe_header = {|{"cmd":"observe","shard":|}
 let counts_header = {|{"cmd":"counts","shard":|}
 
-let[@histolint.hot] scan t line =
-  let n = String.length line in
+(* The windowed scanner: parse the bytes of [line] in [\[pos, pos+len)]
+   exactly as [scan] parses a whole line — the reactor feeds it line
+   spans straight out of its read buffer, with no per-line substring. *)
+let[@histolint.hot] scan_sub t line ~pos:lo ~len:wlen =
+  let n = lo + wlen in
   let start_len = t.len in
-  let pos = ref 0 in
+  let pos = ref lo in
   try
     let kind =
-      if prefix line n observe_header then begin
-        pos := String.length observe_header;
+      if prefix line lo n observe_header then begin
+        pos := lo + String.length observe_header;
         Observe
       end
-      else if prefix line n counts_header then begin
-        pos := String.length counts_header;
+      else if prefix line lo n counts_header then begin
+        pos := lo + String.length counts_header;
         Counts
       end
       else raise Fail
@@ -180,3 +184,5 @@ let[@histolint.hot] scan t line =
   with Fail ->
     t.len <- start_len;
     None
+
+let scan t line = scan_sub t line ~pos:0 ~len:(String.length line)

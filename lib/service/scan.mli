@@ -41,3 +41,10 @@ val scan : t -> string -> hit option
 (** Try the fast path on one request line.  [Some hit] appends the
     decoded payload to the arena; [None] leaves the arena untouched —
     hand the line to the strict parser. *)
+
+val scan_sub : t -> string -> pos:int -> len:int -> hit option
+(** [scan] on the window [\[pos, pos + len)] of the string, decoding
+    exactly as [scan] would on the corresponding substring but without
+    materializing it — the socket reactor feeds line spans straight out
+    of its read buffer.  The window must be in bounds (unchecked, like
+    [String.unsafe_get]). *)

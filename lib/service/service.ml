@@ -136,6 +136,8 @@ let merged t =
   | [] -> None
   | shards -> Some (Suff_fold.reduce (Array.of_list (List.map snd shards)))
 
+let shards t = t.shards
+
 type verdict_info = {
   verdict : Verdict.t;
   z : float;
@@ -555,11 +557,11 @@ type serve_stats = {
 
 (* Matches the whitespace class of [String.trim]: the legacy serve loop
    skipped lines that trim to "". *)
-let[@histolint.hot] is_blank line =
-  let n = String.length line in
-  let i = ref 0 in
+let[@histolint.hot] is_blank_sub line pos len =
+  let hi = pos + len in
+  let i = ref pos in
   while
-    !i < n
+    !i < hi
     &&
     match String.unsafe_get line !i with
     | ' ' | '\t' | '\n' | '\r' | '\012' -> true
@@ -567,7 +569,7 @@ let[@histolint.hot] is_blank line =
   do
     incr i
   done;
-  !i = n
+  !i = hi
 
 (* Batch fill stops once this many payload values are staged in the
    arena (128 KiB of ints): batching amortizes syscalls and parallelizes
@@ -579,89 +581,161 @@ let[@histolint.hot] is_blank line =
    is negligible anyway. *)
 let arena_budget = 1 lsl 14
 
+(* The batch executor behind [serve], exposed so transport front-ends
+   (the stdio loop below, the Netio reactor) share one engine: parse
+   lines into slots as they arrive, then execute-and-render the batch in
+   one step.  One executor per request stream — it owns the arena the
+   fast path decodes into and the slot/response buffers, all reused
+   across batches (and, via [clear]/[reset_stats], across pooled
+   connections). *)
+module Batch = struct
+  type exec = {
+    service : t;
+    pool : Parkit.Pool.t;
+    fast_path : bool;
+    batch : int;
+    arena : Scan.t;
+    slots : slot array;
+    resp : rendered array;
+    mutable k : int;
+    mutable requests : int;
+    mutable values : int;
+    mutable fast_hits : int;
+    mutable strict_parses : int;
+    mutable batches : int;
+  }
+
+  let create ?pool ?(batch = 1) ?(fast_path = true) service =
+    if batch < 1 then invalid_arg "Service.Batch.create: batch < 1";
+    let pool =
+      match pool with Some p -> p | None -> Parkit.Pool.get_default ()
+    in
+    {
+      service;
+      pool;
+      fast_path;
+      batch;
+      arena = Scan.create ();
+      slots = Array.make batch (S_err "");
+      resp = Array.make batch (R_error "");
+      k = 0;
+      requests = 0;
+      values = 0;
+      fast_hits = 0;
+      strict_parses = 0;
+      batches = 0;
+    }
+
+  let count e = e.k
+
+  (* Stop filling once the arena holds [arena_budget] decoded values:
+     past that, scanning ahead just evicts the very spans ingest is
+     about to read, and large-payload batches get slower, not faster. *)
+  let want_more e = e.k < e.batch && Scan.length e.arena < arena_budget
+
+  let strict e line =
+    e.strict_parses <- e.strict_parses + 1;
+    match Wire.request_of_line line with
+    | Error msg -> S_err msg
+    | Ok req ->
+        (match req with
+        | Wire.Observe { xs; _ } -> e.values <- e.values + Array.length xs
+        | Wire.Counts { counts; _ } ->
+            e.values <- e.values + Array.length counts
+        | _ -> ());
+        S_req req
+
+  (* The windowed push the socket reactor uses: fast-path lines decode
+     straight out of the transport's read buffer (the shard id is the
+     only copy); only strict-parser fallbacks materialize the line. *)
+  let push_sub e line ~pos ~len =
+    if not (want_more e) then invalid_arg "Service.Batch.push: batch full";
+    if not (is_blank_sub line pos len) then begin
+      let slot =
+        if e.fast_path then
+          match Scan.scan_sub e.arena line ~pos ~len with
+          | Some h ->
+              e.fast_hits <- e.fast_hits + 1;
+              e.values <- e.values + h.Scan.len;
+              S_fast h
+          | None -> strict e (String.sub line pos len)
+        else strict e (String.sub line pos len)
+      in
+      e.slots.(e.k) <- slot;
+      e.k <- e.k + 1
+    end
+
+  let push e line = push_sub e line ~pos:0 ~len:(String.length line)
+
+  let clear e =
+    e.k <- 0;
+    Scan.clear e.arena
+
+  let execute e ~out =
+    if e.k = 0 then true
+    else begin
+      e.batches <- e.batches + 1;
+      let stop = exec_batch e.service e.pool e.arena e.slots e.resp e.k in
+      let last = match stop with Some q -> q | None -> e.k - 1 in
+      e.requests <- e.requests + last + 1;
+      for i = 0 to last do
+        render out e.resp.(i);
+        Buffer.add_char out '\n'
+      done;
+      clear e;
+      Option.is_none stop
+    end
+
+  let stats e =
+    {
+      requests = e.requests;
+      values = e.values;
+      fast_hits = e.fast_hits;
+      strict_parses = e.strict_parses;
+      batches = e.batches;
+    }
+
+  let reset_stats e =
+    e.requests <- 0;
+    e.values <- 0;
+    e.fast_hits <- 0;
+    e.strict_parses <- 0;
+    e.batches <- 0
+end
+
 let serve ?pool ?(batch = 1) ?(fast_path = true) t ~read_line ~write =
   if batch < 1 then invalid_arg "Service.serve: batch < 1";
-  let pool =
-    match pool with Some p -> p | None -> Parkit.Pool.get_default ()
-  in
-  let arena = Scan.create () in
+  let ex = Batch.create ?pool ~batch ~fast_path t in
   let out = Buffer.create 65536 in
-  let slots = Array.make batch (S_err "") in
-  let resp = Array.make batch (R_error "") in
-  let requests = ref 0
-  and values = ref 0
-  and fast_hits = ref 0
-  and strict_parses = ref 0
-  and batches = ref 0 in
   let continue = ref true in
   while !continue do
-    Scan.clear arena;
-    let k = ref 0 in
     let eof = ref false in
-    let strict line =
-      incr strict_parses;
-      match Wire.request_of_line line with
-      | Error msg -> S_err msg
-      | Ok req ->
-          (match req with
-          | Wire.Observe { xs; _ } -> values := !values + Array.length xs
-          | Wire.Counts { counts; _ } ->
-              values := !values + Array.length counts
-          | _ -> ());
-          S_req req
-    in
-    (* Drain up to [batch] lines: block for the first request, then take
-       whatever more is already available without blocking.  Also stop
-       filling once the arena holds [arena_budget] decoded values: past
-       that, scanning ahead just evicts the very spans ingest is about
-       to read, and large-payload batches get slower, not faster. *)
-    let rec fill ~block =
-      if !k < batch && Scan.length arena < arena_budget then
-        match read_line ~block with
-        | None -> if block then eof := true
-        | Some line ->
-            if is_blank line then fill ~block
-            else begin
-              let slot =
-                if fast_path then
-                  match Scan.scan arena line with
-                  | Some h ->
-                      incr fast_hits;
-                      values := !values + h.Scan.len;
-                      S_fast h
-                  | None -> strict line
-                else strict line
-              in
-              slots.(!k) <- slot;
-              incr k;
-              fill ~block:false
-            end
-    in
-    fill ~block:true;
-    if !k = 0 then begin
+    (* Block until one request is staged (blank lines re-block, exactly
+       as the pre-Batch loop did) ... *)
+    while Batch.count ex = 0 && not !eof do
+      match read_line ~block:true with
+      | None -> eof := true
+      | Some line -> Batch.push ex line
+    done;
+    (* ... then drain whatever more is already available without
+       blocking, up to the batch/arena bounds. *)
+    let more = ref true in
+    while !more && Batch.want_more ex do
+      match read_line ~block:false with
+      | None -> more := false
+      | Some line -> Batch.push ex line
+    done;
+    if Batch.count ex = 0 then begin
       if !eof then continue := false
     end
     else begin
-      incr batches;
-      let stop = exec_batch t pool arena slots resp !k in
-      let last = match stop with Some q -> q | None -> !k - 1 in
-      requests := !requests + last + 1;
       Buffer.clear out;
-      for i = 0 to last do
-        render out resp.(i);
-        Buffer.add_char out '\n'
-      done;
+      let go = Batch.execute ex ~out in
       write out;
-      if Option.is_some stop then continue := false
+      if not go then continue := false
     end
   done;
-  {
-    requests = !requests;
-    values = !values;
-    fast_hits = !fast_hits;
-    strict_parses = !strict_parses;
-    batches = !batches;
-  }
+  Batch.stats ex
 
 (* --- corpus files (shared by --replay and its error reporting) --- *)
 

@@ -54,6 +54,11 @@ val merged : t -> Suffstat.t option
 (** Left-fold merge of all shards in arrival order; [None] when no shard
     exists yet.  Fresh state — the per-shard states are not mutated. *)
 
+val shards : t -> (string * Suffstat.t) list
+(** The live per-shard states, in first-arrival order.  Read-only by
+    convention: callers must not mutate the states (tests use this to
+    pin socket-served shard state against a single-process replay). *)
+
 type verdict_info = {
   verdict : Verdict.t;
   z : float;
@@ -80,6 +85,66 @@ type serve_stats = {
   strict_parses : int;  (** lines that went through the strict parser *)
   batches : int;  (** flushes — one per executed batch *)
 }
+
+module Batch : sig
+  type exec
+  (** A batch executor: the engine behind {!serve}, exposed so transport
+      front-ends (the stdio loop, the {!Netio} reactor) can feed it lines
+      from their own event sources.  One executor per request stream; it
+      owns the fast-path arena and the slot/response buffers, all reused
+      across batches. *)
+
+  val create :
+    ?pool:Parkit.Pool.t -> ?batch:int -> ?fast_path:bool -> t -> exec
+  (** Same parameters and defaults as {!serve} ([batch] defaults to 1,
+      [fast_path] to true, [pool] to [Parkit.Pool.get_default ()]).
+      @raise Invalid_argument if [batch < 1]. *)
+
+  val count : exec -> int
+  (** Requests staged in the current (unexecuted) batch. *)
+
+  val want_more : exec -> bool
+  (** Whether another {!push} is acceptable: the batch has a free slot
+      and the decoded-payload arena is still under its cache-residency
+      budget.  Callers must check this before every push. *)
+
+  val push : exec -> string -> unit
+  (** Parse one request line into the next slot — {!Scan} fast path
+      first when enabled, strict parser otherwise.  Blank lines are
+      skipped without consuming a slot, exactly as {!serve} skips them.
+      @raise Invalid_argument when [want_more] is false. *)
+
+  val push_sub : exec -> string -> pos:int -> len:int -> unit
+  (** [push] on the window [\[pos, pos + len)] of the string, without
+      materializing the substring on the fast path — the socket
+      reactor's zero-copy feed.  Decodes identically to [push] on the
+      corresponding substring; the window must be in bounds (unchecked).
+      The executor never retains a reference into [line] past the call
+      (fast-path payloads land in the arena, the shard id is copied, and
+      strict-parser fallbacks copy the substring), so transports may
+      reuse the underlying buffer immediately.
+      @raise Invalid_argument when [want_more] is false. *)
+
+  val execute : exec -> out:Buffer.t -> bool
+  (** Execute the staged batch with the sequential-equivalence contract
+      of {!serve} (non-ingest barriers, shard-grouped parallel ingest,
+      responses in request order) and append the newline-terminated
+      responses to [out].  Returns false when the batch contained a
+      [quit] — staged requests after it are dropped unanswered.  The
+      executor is cleared and ready for the next batch either way;
+      executing an empty batch is a no-op returning true. *)
+
+  val clear : exec -> unit
+  (** Drop any staged-but-unexecuted requests (a transport closing a
+      connection mid-fill calls this before reusing the executor). *)
+
+  val stats : exec -> serve_stats
+  (** Cumulative counters since creation (or the last [reset_stats]). *)
+
+  val reset_stats : exec -> unit
+  (** Zero the counters — used by transports that pool executors across
+      connections and account per-connection deltas on close. *)
+end
 
 val serve :
   ?pool:Parkit.Pool.t ->
